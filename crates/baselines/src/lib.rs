@@ -1,0 +1,31 @@
+//! # asdb-baselines
+//!
+//! The prior-work AS classification systems the paper positions itself
+//! against (§2), implemented so the comparison can be run rather than
+//! quoted:
+//!
+//! * [`caida`] — Dimitropoulos et al.'s WHOIS text classification into six
+//!   classes, and the coarse three-way CAIDA AS Classification dataset
+//!   derived from it ("transit/access", "enterprise", "content"). The
+//!   paper measured the December 2020 CAIDA dataset at 72% coverage and
+//!   58% / 75% / 0% per-class accuracy.
+//! * [`baumann`] — Baumann & Fabian's keyword analysis of WHOIS data into
+//!   ten industries, with 57% coverage.
+//! * [`topo`] — Dhamdhere & Dovrolis-style inference of broad AS types
+//!   (enterprise, small/large transit, access/hosting, content) from
+//!   topological properties, reported at 76–82% accuracy.
+//!
+//! Each baseline consumes exactly the inputs its original had: the keyword
+//! systems see only WHOIS text, the topological system sees only the AS
+//! graph. None of them touch the ground truth.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baumann;
+pub mod caida;
+pub mod topo;
+
+pub use baumann::BaumannClassifier;
+pub use caida::{CaidaClass, CaidaClassifier};
+pub use topo::{TopoClass, TopoClassifier};

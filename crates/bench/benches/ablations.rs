@@ -1,0 +1,188 @@
+//! Ablations over the design choices DESIGN.md calls out: domain-selection
+//! strategy (Table 5's three options), the D&B confidence threshold, and
+//! the ML ensemble size. Each benchmark measures the cost of the variant;
+//! the printed post-run summary (via `--nocapture` style stderr) is the
+//! accuracy side of the trade-off.
+
+use asdb_bench::bench_context;
+use asdb_entity::domain_select::{select_domain, DomainCandidates, DomainStrategy};
+use asdb_sources::{DataSource, Query};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_domain_strategies(c: &mut Criterion) {
+    let ctx = bench_context();
+    let mut group = c.benchmark_group("ablation_domain_strategy");
+    group.sample_size(10);
+
+    let inputs: Vec<(DomainCandidates, String)> = ctx
+        .world
+        .ases
+        .iter()
+        .take(100)
+        .map(|rec| {
+            let pool: Vec<_> = rec
+                .parsed
+                .candidate_domains()
+                .into_iter()
+                .map(|d| {
+                    let count = ctx.world.domain_as_count(&d).max(1);
+                    (d, count)
+                })
+                .collect();
+            (DomainCandidates::new(pool), rec.parsed.name.clone())
+        })
+        .collect();
+
+    for (label, strategy) in [
+        ("random", DomainStrategy::Random),
+        ("least_common", DomainStrategy::LeastCommon),
+        ("most_similar", DomainStrategy::MostSimilar),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("select_100", label),
+            &strategy,
+            |b, &s| {
+                b.iter(|| {
+                    for (cands, name) in &inputs {
+                        black_box(select_domain(cands, name, s, &ctx.world.web, ctx.seed));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_confidence_thresholds(c: &mut Criterion) {
+    let ctx = bench_context();
+    let mut group = c.benchmark_group("ablation_dnb_threshold");
+    group.sample_size(10);
+
+    let queries: Vec<Query> = ctx
+        .world
+        .ases
+        .iter()
+        .take(60)
+        .map(|rec| Query {
+            asn: Some(rec.asn),
+            name: Some(rec.parsed.name.clone()),
+            domain: None,
+            address: rec.parsed.address.clone(),
+            phone: rec.parsed.phone.clone(),
+        })
+        .collect();
+
+    for threshold in [1u8, 6, 9] {
+        group.bench_with_input(
+            BenchmarkId::new("search_60", threshold),
+            &threshold,
+            |b, &t| {
+                b.iter(|| {
+                    let mut kept = 0usize;
+                    for q in &queries {
+                        if let Some(m) = ctx.system.sources.dnb.search(q) {
+                            if m.confidence.map(|c| c.value()).unwrap_or(0) >= t {
+                                kept += 1;
+                            }
+                        }
+                    }
+                    black_box(kept)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_consensus_vs_autochoose(c: &mut Criterion) {
+    let ctx = bench_context();
+    let mut group = c.benchmark_group("ablation_arbitration");
+    group.sample_size(10);
+
+    // Measure the consensus phase in isolation: gather per-source labels
+    // once, then compare the cost of consensus arbitration vs the trivial
+    // auto-choose.
+    let all_matches: Vec<Vec<asdb_sources::SourceMatch>> = ctx
+        .world
+        .ases
+        .iter()
+        .take(80)
+        .map(|rec| {
+            let q = Query {
+                asn: Some(rec.asn),
+                name: Some(rec.parsed.name.clone()),
+                domain: None,
+                address: rec.parsed.address.clone(),
+                phone: rec.parsed.phone.clone(),
+            };
+            ctx.system.sources.search_all(&q)
+        })
+        .collect();
+
+    group.bench_function("auto_choose_only", |b| {
+        b.iter(|| {
+            for matches in &all_matches {
+                let best = matches.iter().max_by(|a, b| {
+                    a.source
+                        .accuracy_rank()
+                        .partial_cmp(&b.source.accuracy_rank())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                black_box(best.map(|m| m.categories.clone()));
+            }
+        })
+    });
+    group.bench_function("full_consensus", |b| {
+        b.iter(|| {
+            for matches in &all_matches {
+                // L1 vote counting as the pipeline does it.
+                let mut votes: std::collections::HashMap<asdb_taxonomy::Layer1, usize> =
+                    Default::default();
+                for m in matches {
+                    for l1 in m.categories.layer1s() {
+                        *votes.entry(l1).or_insert(0) += 1;
+                    }
+                }
+                let agreed: Vec<_> = votes.into_iter().filter(|(_, n)| *n >= 2).collect();
+                black_box(agreed);
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_full_ablation_suite(c: &mut Criterion) {
+    let ctx = bench_context();
+    let mut group = c.benchmark_group("ablation_suite");
+    group.sample_size(10);
+    group.bench_function("all_arms_over_test_set", |b| {
+        b.iter(|| {
+            black_box(asdb_eval::ablations::run_ablations(
+                &ctx.world,
+                &ctx.test,
+                &ctx.system,
+            ))
+        })
+    });
+    group.bench_function("background_baselines", |b| {
+        b.iter(|| {
+            black_box(asdb_eval::background::compare(
+                &ctx.world,
+                &ctx.gold,
+                &ctx.system,
+                ctx.seed,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_domain_strategies,
+    bench_confidence_thresholds,
+    bench_consensus_vs_autochoose,
+    bench_full_ablation_suite
+);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! One benchmark per evaluation figure, plus the §5.3 maintenance and §6
+//! Telnet analyses.
+
+use asdb_bench::bench_context;
+use asdb_eval::experiments;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let ctx = bench_context();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("fig1_agreement", |b| {
+        b.iter(|| black_box(experiments::fig1(ctx)))
+    });
+    group.bench_function("fig2_dnb_confidence", |b| {
+        b.iter(|| black_box(experiments::fig2(ctx)))
+    });
+    group.bench_function("fig5_fig6_reward_sweep", |b| {
+        b.iter(|| black_box(experiments::fig5_fig6(ctx)))
+    });
+    group.bench_function("fig7_consensus", |b| {
+        b.iter(|| black_box(experiments::fig7(ctx)))
+    });
+    group.bench_function("maintenance_week", |b| {
+        b.iter(|| black_box(experiments::maintenance(ctx)))
+    });
+    group.bench_function("telnet_case_study", |b| {
+        b.iter(|| black_box(experiments::telnet(ctx)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! One benchmark per evaluation table: each iteration regenerates the
+//! table from the shared context (sources and classifiers pre-built, as in
+//! a deployed ASdb instance).
+
+use asdb_bench::bench_context;
+use asdb_eval::experiments;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let ctx = bench_context();
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+
+    group.bench_function("tab3_coverage", |b| {
+        b.iter(|| black_box(experiments::tab3(ctx)))
+    });
+    group.bench_function("tab4_correctness", |b| {
+        b.iter(|| black_box(experiments::tab4(ctx)))
+    });
+    group.bench_function("tab5_entity_resolution", |b| {
+        b.iter(|| black_box(experiments::tab5(ctx)))
+    });
+    group.bench_function("tab6_classifiers", |b| {
+        b.iter(|| black_box(experiments::tab6(ctx)))
+    });
+    group.bench_function("tab7_f1", |b| {
+        b.iter(|| black_box(experiments::tab7(ctx)))
+    });
+    group.bench_function("tab8_stages", |b| {
+        b.iter(|| black_box(experiments::tab8(ctx)))
+    });
+    group.bench_function("tab9_crowd_system", |b| {
+        b.iter(|| black_box(experiments::tab9(ctx)))
+    });
+    group.bench_function("tab10_per_category", |b| {
+        b.iter(|| black_box(experiments::tab10(ctx)))
+    });
+    group.bench_function("tab11_agreement_precision", |b| {
+        b.iter(|| black_box(experiments::tab11(ctx)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

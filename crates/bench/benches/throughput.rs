@@ -1,0 +1,124 @@
+//! Operational throughput: the per-AS costs behind the paper's "5–30
+//! seconds to scrape … 1 second to classify 150 domains" and the batch
+//! parallelism a production deployment relies on.
+
+use asdb_bench::bench_context;
+use asdb_core::batch::classify_batch;
+use asdb_entity::name_similarity;
+use asdb_rir::dump::{read_dump, write_dump};
+use asdb_rir::extract;
+use asdb_websim::scraper::{scrape, ScrapeConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_throughput(c: &mut Criterion) {
+    let ctx = bench_context();
+    let mut group = c.benchmark_group("throughput");
+
+    // Single-AS classification latency through the full Figure 4 pipeline.
+    let sample: Vec<_> = ctx.world.ases.iter().take(32).collect();
+    group.throughput(Throughput::Elements(sample.len() as u64));
+    group.bench_function("pipeline_classify_32_ases", |b| {
+        b.iter(|| {
+            for rec in &sample {
+                black_box(ctx.system.classify(&rec.parsed));
+            }
+        })
+    });
+
+    // ML inference on pre-scraped text ("1 second to classify 150
+    // domains" — ours is far faster, being in-process).
+    let texts: Vec<String> = ctx
+        .world
+        .orgs
+        .iter()
+        .filter(|o| o.live_site)
+        .take(150)
+        .filter_map(|o| {
+            let d = o.domain.as_ref()?;
+            scrape(&ctx.world.web, d, &ScrapeConfig::default())
+                .ok()
+                .map(|r| r.text)
+        })
+        .collect();
+    group.throughput(Throughput::Elements(texts.len() as u64));
+    group.bench_function("ml_inference_150_domains", |b| {
+        b.iter(|| {
+            for t in &texts {
+                black_box(ctx.system.ml.classify_text(t));
+            }
+        })
+    });
+
+    // Scraping (in-memory web).
+    let domains: Vec<_> = ctx
+        .world
+        .orgs
+        .iter()
+        .filter(|o| o.live_site)
+        .filter_map(|o| o.domain.clone())
+        .take(50)
+        .collect();
+    group.throughput(Throughput::Elements(domains.len() as u64));
+    group.bench_function("scrape_50_sites", |b| {
+        b.iter(|| {
+            for d in &domains {
+                let _ = black_box(scrape(&ctx.world.web, d, &ScrapeConfig::default()));
+            }
+        })
+    });
+
+    // WHOIS dump render + parse + extraction.
+    let rendered: Vec<_> = ctx
+        .world
+        .ases
+        .iter()
+        .take(500)
+        .map(|r| asdb_rir::dialect::serialize(r.rir, &r.registration))
+        .collect();
+    let dump_text = write_dump(&rendered);
+    group.throughput(Throughput::Bytes(dump_text.len() as u64));
+    group.bench_function("whois_parse_500_records", |b| {
+        b.iter(|| {
+            let records = read_dump(black_box(&dump_text));
+            for r in &records {
+                black_box(extract(r));
+            }
+        })
+    });
+
+    // Name similarity (the entity-resolution hot loop).
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("name_similarity", |b| {
+        b.iter(|| {
+            black_box(name_similarity(
+                black_box("Nortel Ridge Telecom LLC"),
+                black_box("NORTELRIDGE-NET backbone services"),
+            ))
+        })
+    });
+
+    // Batch scaling across thread counts.
+    let records: Vec<_> = ctx
+        .world
+        .ases
+        .iter()
+        .take(64)
+        .map(|r| r.parsed.clone())
+        .collect();
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("batch_classify_64", threads),
+            &threads,
+            |b, &t| b.iter(|| black_box(classify_batch(&ctx.system, &records, t))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_throughput
+}
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! # asdb-bench
+//!
+//! Shared setup for the Criterion benchmark harness. Each bench target
+//! regenerates part of the paper's evaluation:
+//!
+//! * `tables` — one benchmark per evaluation table (3, 4, 5, 6, 7, 8, 9,
+//!   10, 11), each measuring a full regeneration of that table;
+//! * `figures` — Figures 1, 2, 5, 6, 7 plus the §5.3 maintenance and §6
+//!   Telnet analyses;
+//! * `throughput` — the operational costs the paper quotes (classification
+//!   latency, ML inference, scraping, WHOIS parsing, batch scaling);
+//! * `ablations` — design-choice comparisons called out in DESIGN.md
+//!   (domain strategies, consensus vs auto-choose, confidence thresholds).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use asdb_eval::ExperimentContext;
+use asdb_model::WorldSeed;
+use asdb_worldgen::WorldConfig;
+use std::sync::OnceLock;
+
+/// The shared benchmark context (small world so Criterion iterations stay
+/// in milliseconds; the shapes it produces match the standard world).
+pub fn bench_context() -> &'static ExperimentContext {
+    static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+    CTX.get_or_init(|| ExperimentContext::build(WorldConfig::small(WorldSeed::new(20211102))))
+}

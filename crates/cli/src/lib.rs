@@ -1,0 +1,430 @@
+//! # asdb-cli
+//!
+//! Argument parsing and command dispatch for the `asdb` binary. Parsing is
+//! hand-rolled (the workspace's dependency policy allows no CLI crates) and
+//! unit-tested; the binary in `main.rs` is a thin shell around
+//! [`Command::parse`] and [`run`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use asdb_core::batch::classify_batch_cached;
+use asdb_core::{dataset, AsdbSystem};
+use asdb_model::{Asn, WorldSeed};
+use asdb_worldgen::{World, WorldConfig};
+use std::fmt;
+use std::str::FromStr;
+
+/// World scale selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// ~300 organizations — seconds to build.
+    Small,
+    /// ~4,000 organizations — the experiment scale.
+    Standard,
+}
+
+impl Scale {
+    fn config(self, seed: WorldSeed) -> WorldConfig {
+        match self {
+            Scale::Small => WorldConfig::small(seed),
+            Scale::Standard => WorldConfig::standard(seed),
+        }
+    }
+}
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `asdb generate` — build a world and print its census.
+    Generate {
+        /// World scale.
+        scale: Scale,
+        /// Seed.
+        seed: u64,
+        /// Optional path to write the bulk WHOIS dump to.
+        whois_out: Option<String>,
+    },
+    /// `asdb classify` — classify the universe (or specific ASNs).
+    Classify {
+        /// World scale.
+        scale: Scale,
+        /// Seed.
+        seed: u64,
+        /// Specific ASNs; empty = the whole universe.
+        asns: Vec<Asn>,
+        /// Optional JSONL output path.
+        out: Option<String>,
+        /// Worker threads.
+        threads: usize,
+    },
+    /// `asdb lookup` — classify one AS and explain every pipeline step.
+    Lookup {
+        /// World scale.
+        scale: Scale,
+        /// Seed.
+        seed: u64,
+        /// The AS to explain.
+        asn: Asn,
+    },
+    /// `asdb report` — regenerate the paper's tables and figures.
+    Report {
+        /// World scale.
+        scale: Scale,
+        /// Seed.
+        seed: u64,
+    },
+    /// `asdb help`.
+    Help,
+}
+
+/// A CLI parse error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The usage text.
+pub const USAGE: &str = "\
+asdb — reproduction of 'ASdb: A System for Classifying Owners of Autonomous Systems' (IMC '21)
+
+USAGE:
+  asdb generate [--scale small|standard] [--seed N] [--whois-out FILE]
+  asdb classify [--scale small|standard] [--seed N] [--asn N]... [--out FILE] [--threads N]
+  asdb lookup   --asn N [--scale small|standard] [--seed N]
+  asdb report   [--scale small|standard] [--seed N]
+  asdb help
+
+Defaults: --scale small, --seed = the canonical experiment seed, --threads 4.
+";
+
+impl Command {
+    /// Parse an argument vector (without the program name).
+    pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<Command, CliError> {
+        let mut it = args.iter().map(AsRef::as_ref);
+        let sub = it.next().unwrap_or("help");
+        let rest: Vec<&str> = it.collect();
+        let mut scale = Scale::Small;
+        let mut seed = WorldSeed::DEFAULT.value();
+        let mut whois_out: Option<String> = None;
+        let mut out: Option<String> = None;
+        let mut asns: Vec<Asn> = Vec::new();
+        let mut threads = 4usize;
+
+        let mut i = 0;
+        let value = |i: &mut usize, flag: &str| -> Result<String, CliError> {
+            *i += 1;
+            rest.get(*i)
+                .map(|s| (*s).to_owned())
+                .ok_or_else(|| CliError(format!("{flag} requires a value")))
+        };
+        while i < rest.len() {
+            match rest[i] {
+                "--scale" => {
+                    scale = match value(&mut i, "--scale")?.as_str() {
+                        "small" => Scale::Small,
+                        "standard" => Scale::Standard,
+                        other => {
+                            return Err(CliError(format!(
+                                "unknown scale {other:?}; use small or standard"
+                            )))
+                        }
+                    };
+                }
+                "--seed" => {
+                    let v = value(&mut i, "--seed")?;
+                    seed = v
+                        .parse::<u64>()
+                        .map_err(|_| CliError(format!("invalid seed {v:?}")))?;
+                }
+                "--whois-out" => whois_out = Some(value(&mut i, "--whois-out")?),
+                "--out" => out = Some(value(&mut i, "--out")?),
+                "--asn" => {
+                    let v = value(&mut i, "--asn")?;
+                    asns.push(
+                        Asn::from_str(&v).map_err(|e| CliError(format!("invalid ASN: {e}")))?,
+                    );
+                }
+                "--threads" => {
+                    let v = value(&mut i, "--threads")?;
+                    threads = v
+                        .parse::<usize>()
+                        .map_err(|_| CliError(format!("invalid thread count {v:?}")))?
+                        .max(1);
+                }
+                other => return Err(CliError(format!("unknown flag {other:?}"))),
+            }
+            i += 1;
+        }
+
+        match sub {
+            "generate" => Ok(Command::Generate {
+                scale,
+                seed,
+                whois_out,
+            }),
+            "classify" => Ok(Command::Classify {
+                scale,
+                seed,
+                asns,
+                out,
+                threads,
+            }),
+            "lookup" => {
+                let asn = *asns
+                    .first()
+                    .ok_or_else(|| CliError("lookup requires --asn N".into()))?;
+                Ok(Command::Lookup { scale, seed, asn })
+            }
+            "report" => Ok(Command::Report { scale, seed }),
+            "help" | "--help" | "-h" => Ok(Command::Help),
+            other => Err(CliError(format!("unknown command {other:?}"))),
+        }
+    }
+}
+
+/// Execute a parsed command, writing human output to `out`. Returns the
+/// process exit code.
+pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> {
+    match cmd {
+        Command::Help => {
+            writeln!(out, "{USAGE}")?;
+            Ok(0)
+        }
+        Command::Generate {
+            scale,
+            seed,
+            whois_out,
+        } => {
+            let world = World::generate(scale.config(WorldSeed::new(seed)));
+            writeln!(
+                out,
+                "world: {} organizations, {} ASes, {} live sites",
+                world.orgs.len(),
+                world.ases.len(),
+                world.web.len()
+            )?;
+            let mut per_rir: std::collections::BTreeMap<&str, usize> = Default::default();
+            for rec in &world.ases {
+                *per_rir.entry(rec.rir.name()).or_insert(0) += 1;
+            }
+            for (rir, n) in per_rir {
+                writeln!(out, "  {rir:<8} {n}")?;
+            }
+            if let Some(path) = whois_out {
+                let rendered: Vec<_> = world
+                    .ases
+                    .iter()
+                    .map(|r| asdb_rir::dialect::serialize(r.rir, &r.registration))
+                    .collect();
+                let text = asdb_rir::dump::write_dump(&rendered);
+                std::fs::write(&path, &text)?;
+                writeln!(out, "WHOIS dump written to {path} ({} KiB)", text.len() / 1024)?;
+            }
+            Ok(0)
+        }
+        Command::Classify {
+            scale,
+            seed,
+            asns,
+            out: out_path,
+            threads,
+        } => {
+            let seed = WorldSeed::new(seed);
+            let world = World::generate(scale.config(seed));
+            let system = AsdbSystem::build(&world, seed.derive("cli"));
+            let records: Vec<_> = if asns.is_empty() {
+                world.ases.iter().map(|r| r.parsed.clone()).collect()
+            } else {
+                let mut rs = Vec::new();
+                for a in &asns {
+                    match world.as_record(*a) {
+                        Some(r) => rs.push(r.parsed.clone()),
+                        None => {
+                            writeln!(out, "error: {a} is not registered in this world")?;
+                            return Ok(2);
+                        }
+                    }
+                }
+                rs
+            };
+            let results = classify_batch_cached(&system, &records, threads);
+            let classified = results.iter().filter(|c| c.is_classified()).count();
+            writeln!(
+                out,
+                "classified {}/{} ASes ({} organizations cached)",
+                classified,
+                results.len(),
+                system.cache().len()
+            )?;
+            match out_path {
+                Some(path) => {
+                    std::fs::write(&path, dataset::write_jsonl(&results))?;
+                    writeln!(out, "dataset written to {path}")?;
+                }
+                None => {
+                    for c in results.iter().take(20) {
+                        writeln!(out, "{}  [{}]  {}", c.asn, c.stage.label(), c.categories)?;
+                    }
+                    if results.len() > 20 {
+                        writeln!(out, "… ({} more; use --out FILE for the full dump)", results.len() - 20)?;
+                    }
+                }
+            }
+            Ok(0)
+        }
+        Command::Lookup { scale, seed, asn } => {
+            let seed = WorldSeed::new(seed);
+            let world = World::generate(scale.config(seed));
+            let Some(rec) = world.as_record(asn) else {
+                writeln!(out, "error: {asn} is not registered in this world")?;
+                return Ok(2);
+            };
+            let system = AsdbSystem::build(&world, seed.derive("cli"));
+            let c = system.classify(&rec.parsed);
+            writeln!(out, "{asn} @ {}", rec.rir)?;
+            writeln!(out, "  WHOIS name : {}", rec.parsed.name)?;
+            writeln!(
+                out,
+                "  candidates : {}",
+                rec.parsed
+                    .candidate_domains()
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )?;
+            writeln!(
+                out,
+                "  chosen     : {}",
+                c.chosen_domain
+                    .as_ref()
+                    .map(ToString::to_string)
+                    .unwrap_or_else(|| "-".into())
+            )?;
+            if let Some(v) = &c.ml {
+                writeln!(out, "  ML         : p_isp={:.2} p_hosting={:.2}", v.p_isp, v.p_hosting)?;
+            }
+            for (src, labels) in &c.match_labels {
+                writeln!(out, "  {src:<10} : {labels}")?;
+            }
+            writeln!(out, "  stage      : {}", c.stage.label())?;
+            writeln!(out, "  verdict    : {}", c.categories)?;
+            Ok(0)
+        }
+        Command::Report { scale, seed } => {
+            let ctx = asdb_eval::ExperimentContext::build(
+                scale.config(WorldSeed::new(seed)),
+            );
+            writeln!(out, "{}", asdb_eval::experiments::run_all(&ctx))?;
+            Ok(0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Command, CliError> {
+        Command::parse(args)
+    }
+
+    #[test]
+    fn parses_defaults() {
+        assert_eq!(parse(&["help"]), Ok(Command::Help));
+        assert_eq!(parse(&[]), Ok(Command::Help));
+        let g = parse(&["generate"]).unwrap();
+        assert!(matches!(
+            g,
+            Command::Generate {
+                scale: Scale::Small,
+                whois_out: None,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_flags() {
+        let c = parse(&[
+            "classify", "--scale", "standard", "--seed", "42", "--asn", "AS1000", "--asn",
+            "2000", "--out", "/tmp/x.jsonl", "--threads", "8",
+        ])
+        .unwrap();
+        match c {
+            Command::Classify {
+                scale,
+                seed,
+                asns,
+                out,
+                threads,
+            } => {
+                assert_eq!(scale, Scale::Standard);
+                assert_eq!(seed, 42);
+                assert_eq!(asns, vec![Asn::new(1000), Asn::new(2000)]);
+                assert_eq!(out.as_deref(), Some("/tmp/x.jsonl"));
+                assert_eq!(threads, 8);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&["frobnicate"]).is_err());
+        assert!(parse(&["generate", "--scale", "galactic"]).is_err());
+        assert!(parse(&["generate", "--seed"]).is_err());
+        assert!(parse(&["generate", "--seed", "NaN"]).is_err());
+        assert!(parse(&["classify", "--asn", "ASX"]).is_err());
+        assert!(parse(&["lookup"]).is_err(), "lookup needs --asn");
+        assert!(parse(&["generate", "--bogus"]).is_err());
+    }
+
+    #[test]
+    fn help_runs() {
+        let mut buf = Vec::new();
+        let code = run(Command::Help, &mut buf).unwrap();
+        assert_eq!(code, 0);
+        assert!(String::from_utf8(buf).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn generate_small_runs() {
+        let mut buf = Vec::new();
+        let code = run(
+            Command::Generate {
+                scale: Scale::Small,
+                seed: 9,
+                whois_out: None,
+            },
+            &mut buf,
+        )
+        .unwrap();
+        assert_eq!(code, 0);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("organizations"), "{text}");
+    }
+
+    #[test]
+    fn lookup_unknown_asn_fails_cleanly() {
+        let mut buf = Vec::new();
+        let code = run(
+            Command::Lookup {
+                scale: Scale::Small,
+                seed: 9,
+                asn: Asn::new(999_999_999),
+            },
+            &mut buf,
+        )
+        .unwrap();
+        assert_eq!(code, 2);
+        assert!(String::from_utf8(buf).unwrap().contains("not registered"));
+    }
+}

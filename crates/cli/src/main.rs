@@ -1,0 +1,20 @@
+//! The `asdb` binary: parse, dispatch, exit.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match asdb_cli::Command::parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", asdb_cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    let mut stdout = std::io::stdout().lock();
+    match asdb_cli::run(cmd, &mut stdout) {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("I/O error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Parallel batch classification.
+//!
+//! Classifying the full AS population is embarrassingly parallel: the
+//! pipeline is read-only apart from the lock-protected cache. Batches are
+//! spread over scoped crossbeam threads ("Our model uses 6 CPU cores…").
+//!
+//! [`classify_batch`] is cache-free and therefore fully deterministic
+//! regardless of thread count; [`classify_batch_cached`] shares the
+//! system's organization cache, which is faster on multi-AS organizations
+//! but makes the *stage* (not the label quality) of later duplicates
+//! depend on scheduling.
+
+use crate::pipeline::{AsdbSystem, Classification};
+use asdb_rir::ParsedWhois;
+
+fn run_batch(
+    system: &AsdbSystem,
+    records: &[ParsedWhois],
+    n_threads: usize,
+    cached: bool,
+) -> Vec<Classification> {
+    let n_threads = n_threads.max(1);
+    if records.is_empty() {
+        return Vec::new();
+    }
+    let chunk = records.len().div_ceil(n_threads);
+    let mut out: Vec<Option<Classification>> = vec![None; records.len()];
+    crossbeam::thread::scope(|scope| {
+        let mut rest = &mut out[..];
+        let mut handles = Vec::new();
+        for batch in records.chunks(chunk) {
+            let (head, tail) = rest.split_at_mut(batch.len().min(rest.len()));
+            rest = tail;
+            handles.push(scope.spawn(move |_| {
+                for (slot, rec) in head.iter_mut().zip(batch) {
+                    *slot = Some(if cached {
+                        system.classify_cached(rec)
+                    } else {
+                        system.classify(rec)
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("worker thread panicked");
+        }
+    })
+    .expect("scope join");
+    out.into_iter()
+        .map(|c| c.expect("every slot filled"))
+        .collect()
+}
+
+/// Classify a batch across `n_threads` threads without the cache —
+/// deterministic for any thread count, input order preserved.
+pub fn classify_batch(
+    system: &AsdbSystem,
+    records: &[ParsedWhois],
+    n_threads: usize,
+) -> Vec<Classification> {
+    run_batch(system, records, n_threads, false)
+}
+
+/// Classify a batch with the shared organization cache (production mode:
+/// multi-AS organizations are classified once).
+pub fn classify_batch_cached(
+    system: &AsdbSystem,
+    records: &[ParsedWhois],
+    n_threads: usize,
+) -> Vec<Classification> {
+    run_batch(system, records, n_threads, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asdb_model::WorldSeed;
+    use asdb_worldgen::{World, WorldConfig};
+
+    #[test]
+    fn parallel_matches_serial() {
+        let w = World::generate(WorldConfig::small(WorldSeed::new(3)));
+        let s = AsdbSystem::build(&w, WorldSeed::new(4));
+        let records: Vec<_> = w.ases.iter().take(60).map(|r| r.parsed.clone()).collect();
+        let serial: Vec<_> = records.iter().map(|r| s.classify(r)).collect();
+        let parallel = classify_batch(&s, &records, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.asn, b.asn);
+            assert_eq!(a.categories, b.categories, "labels diverge for {}", a.asn);
+            assert_eq!(a.stage, b.stage);
+        }
+    }
+
+    #[test]
+    fn cached_batch_fills_the_cache() {
+        let w = World::generate(WorldConfig::small(WorldSeed::new(9)));
+        let s = AsdbSystem::build(&w, WorldSeed::new(10));
+        let records: Vec<_> = w.ases.iter().take(40).map(|r| r.parsed.clone()).collect();
+        assert!(s.cache().is_empty());
+        let out = classify_batch_cached(&s, &records, 4);
+        assert_eq!(out.len(), 40);
+        assert!(!s.cache().is_empty());
+    }
+
+    #[test]
+    fn empty_batch() {
+        let w = World::generate(WorldConfig::small(WorldSeed::new(5)));
+        let s = AsdbSystem::build(&w, WorldSeed::new(6));
+        assert!(classify_batch(&s, &[], 4).is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_records() {
+        let w = World::generate(WorldConfig::small(WorldSeed::new(7)));
+        let s = AsdbSystem::build(&w, WorldSeed::new(8));
+        let records: Vec<_> = w.ases.iter().take(3).map(|r| r.parsed.clone()).collect();
+        let out = classify_batch(&s, &records, 16);
+        assert_eq!(out.len(), 3);
+    }
+}

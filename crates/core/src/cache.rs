@@ -1,0 +1,157 @@
+//! The organization cache.
+//!
+//! "ASdb checks if the owning organization has previously been classified
+//! (e.g., because another AS belonging to the same organization was
+//! previously classified), and, if so, ASdb returns the cached data"
+//! (§5.1). Organizations are identified without ground truth: by their
+//! selected domain when one exists, otherwise by the normalized WHOIS name.
+
+use asdb_model::{Domain, OrgName};
+use asdb_taxonomy::CategorySet;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The cache key: how ASdb recognizes "the same organization" across ASes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OrgKey {
+    /// Keyed by registrable domain (strongest identity signal).
+    Domain(String),
+    /// Keyed by normalized organization name.
+    Name(String),
+}
+
+impl OrgKey {
+    /// Derive a key from the available identity signals. `None` when the
+    /// record has neither a domain nor a usable name.
+    pub fn derive(domain: Option<&Domain>, name: &str) -> Option<OrgKey> {
+        if let Some(d) = domain {
+            return Some(OrgKey::Domain(d.registrable().as_str().to_owned()));
+        }
+        let normalized = OrgName::new(name).normalized();
+        (!normalized.is_empty()).then_some(OrgKey::Name(normalized))
+    }
+}
+
+/// A cached classification result.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CachedResult {
+    /// The classification.
+    pub categories: CategorySet,
+    /// Provenance note (stage name at classification time).
+    pub provenance: String,
+}
+
+/// Thread-safe organization cache.
+#[derive(Debug, Default)]
+pub struct OrgCache {
+    map: RwLock<HashMap<OrgKey, CachedResult>>,
+}
+
+impl OrgCache {
+    /// Empty cache.
+    pub fn new() -> OrgCache {
+        OrgCache::default()
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &OrgKey) -> Option<CachedResult> {
+        self.map.read().get(key).cloned()
+    }
+
+    /// Store a result.
+    pub fn put(&self, key: OrgKey, result: CachedResult) {
+        self.map.write().insert(key, result);
+    }
+
+    /// Invalidate a key (ownership metadata changed, §5.3).
+    pub fn invalidate(&self, key: &OrgKey) -> bool {
+        self.map.write().remove(key).is_some()
+    }
+
+    /// Number of cached organizations.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+
+    /// Drop everything.
+    pub fn clear(&self) {
+        self.map.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asdb_taxonomy::naicslite::known;
+    use asdb_taxonomy::Category;
+
+    #[test]
+    fn key_prefers_domain() {
+        let d = Domain::new("www.acme.com").unwrap();
+        let k = OrgKey::derive(Some(&d), "Acme Inc").unwrap();
+        assert_eq!(k, OrgKey::Domain("acme.com".into()));
+        let k = OrgKey::derive(None, "Acme Inc").unwrap();
+        assert_eq!(k, OrgKey::Name("acme".into()));
+        assert!(OrgKey::derive(None, "  ").is_none());
+    }
+
+    #[test]
+    fn name_key_survives_variants() {
+        // Same org, different legal-suffix spellings → same key.
+        let a = OrgKey::derive(None, "Nortel Ridge Telecom LLC").unwrap();
+        let b = OrgKey::derive(None, "Nortel Ridge Telecom").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn put_get_invalidate() {
+        let cache = OrgCache::new();
+        let key = OrgKey::Name("acme".into());
+        assert!(cache.get(&key).is_none());
+        cache.put(
+            key.clone(),
+            CachedResult {
+                categories: CategorySet::single(Category::l2(known::isp())),
+                provenance: "test".into(),
+            },
+        );
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&key).is_some());
+        assert!(cache.invalidate(&key));
+        assert!(!cache.invalidate(&key));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn concurrent_access() {
+        use std::sync::Arc;
+        let cache = Arc::new(OrgCache::new());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let c = Arc::clone(&cache);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    let key = OrgKey::Name(format!("org-{t}-{i}"));
+                    c.put(
+                        key.clone(),
+                        CachedResult {
+                            categories: CategorySet::new(),
+                            provenance: "t".into(),
+                        },
+                    );
+                    assert!(c.get(&key).is_some());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cache.len(), 800);
+    }
+}

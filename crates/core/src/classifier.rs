@@ -1,0 +1,196 @@
+//! ASdb's ML component: the two binary website classifiers (§4.1).
+//!
+//! "We introduce two binary classifiers trained to identify hosting
+//! provider and ISP websites." Each is a full Figure 3 pipeline: scrape the
+//! domain (root + keyword internal pages), translate to English, count-
+//! vectorize, TF-IDF, SGD ensemble.
+
+use asdb_model::{Domain, WorldSeed};
+use asdb_taxonomy::naicslite::known;
+use asdb_textml::pipeline::PipelineConfig;
+use asdb_textml::TextPipeline;
+use asdb_websim::scraper::{scrape, ScrapeConfig};
+use asdb_websim::{Fetcher, Translator};
+use asdb_worldgen::World;
+use serde::{Deserialize, Serialize};
+
+/// The two trained classifiers plus the shared scraping/translation stack.
+#[derive(Debug, Clone)]
+pub struct MlClassifiers {
+    isp: TextPipeline,
+    hosting: TextPipeline,
+    scrape_config: ScrapeConfig,
+    translator: Translator,
+}
+
+/// One domain's ML verdicts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MlVerdict {
+    /// P(the site is an ISP's).
+    pub p_isp: f32,
+    /// P(the site is a hosting provider's).
+    pub p_hosting: f32,
+}
+
+impl MlVerdict {
+    /// Hard ISP verdict at 0.5.
+    pub fn is_isp(&self) -> bool {
+        self.p_isp > 0.5
+    }
+
+    /// Hard hosting verdict at 0.5.
+    pub fn is_hosting(&self) -> bool {
+        self.p_hosting > 0.5
+    }
+
+    /// Whether either detector fired.
+    pub fn fired(&self) -> bool {
+        self.is_isp() || self.is_hosting()
+    }
+}
+
+impl MlClassifiers {
+    /// Assemble the §4.1 training set from a world and train both
+    /// classifiers: "a labeled training set of 225 ASes, of which 150 ASes
+    /// are random and 75 ASes are sampled from D&B-labeled hosting
+    /// providers to provide sufficient hosting-class balance" (Table 2).
+    pub fn train(world: &World, seed: WorldSeed) -> MlClassifiers {
+        let translator = Translator::new(
+            world.config.web.translation_loss,
+            seed.derive("asdb-translate"),
+        );
+        let scrape_config = ScrapeConfig::default();
+
+        // 150 random ASes…
+        let mut train_orgs: Vec<_> = world
+            .sample_asns(150, "ml-train")
+            .into_iter()
+            .filter_map(|asn| world.org_of(asn))
+            .collect();
+        // …plus 75 hosting providers for class balance.
+        let hosting_orgs: Vec<_> = world
+            .orgs
+            .iter()
+            .filter(|o| o.category == known::hosting() && o.live_site)
+            .take(75)
+            .collect();
+        train_orgs.extend(hosting_orgs);
+
+        let mut docs: Vec<String> = Vec::new();
+        let mut isp_labels: Vec<bool> = Vec::new();
+        let mut hosting_labels: Vec<bool> = Vec::new();
+        for org in train_orgs {
+            let Some(domain) = &org.domain else { continue };
+            let Ok(res) = scrape(&world.web, domain, &scrape_config) else {
+                continue;
+            };
+            let text = translator.translate(&res.text);
+            docs.push(text);
+            let truth = org.truth();
+            isp_labels.push(truth.layer2s().contains(&known::isp()));
+            hosting_labels.push(truth.layer2s().contains(&known::hosting()));
+        }
+        let doc_refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+        let config = PipelineConfig::asdb_default();
+        let mut cfg = config.clone();
+        cfg.vectorizer.min_df = 2;
+        let isp = TextPipeline::fit(&doc_refs, &isp_labels, cfg.clone(), seed.derive("isp-clf"));
+        let hosting = TextPipeline::fit(
+            &doc_refs,
+            &hosting_labels,
+            cfg,
+            seed.derive("hosting-clf"),
+        );
+        MlClassifiers {
+            isp,
+            hosting,
+            scrape_config,
+            translator,
+        }
+    }
+
+    /// Scrape + translate + classify one domain. `None` when the site is
+    /// unreachable or yields no text.
+    pub fn classify<F: Fetcher>(&self, web: &F, domain: &Domain) -> Option<MlVerdict> {
+        let res = scrape(web, domain, &self.scrape_config).ok()?;
+        if !res.is_substantive() {
+            return None;
+        }
+        let text = self.translator.translate(&res.text);
+        Some(MlVerdict {
+            p_isp: self.isp.predict_proba(&text),
+            p_hosting: self.hosting.predict_proba(&text),
+        })
+    }
+
+    /// Classify pre-scraped, pre-translated text (used by benches to
+    /// isolate inference cost).
+    pub fn classify_text(&self, text: &str) -> MlVerdict {
+        MlVerdict {
+            p_isp: self.isp.predict_proba(text),
+            p_hosting: self.hosting.predict_proba(text),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asdb_textml::Metrics;
+    use asdb_worldgen::WorldConfig;
+
+    fn world() -> World {
+        World::generate(WorldConfig::standard(WorldSeed::new(2021)))
+    }
+
+    #[test]
+    fn classifiers_beat_chance_substantially() {
+        let w = world();
+        let ml = MlClassifiers::train(&w, WorldSeed::new(7));
+        // Evaluate on a held-out random sample.
+        let test = w.sample_asns(150, "ml-test");
+        let mut isp_scores = Vec::new();
+        let mut isp_truth = Vec::new();
+        let mut host_scores = Vec::new();
+        let mut host_truth = Vec::new();
+        for asn in test {
+            let org = w.org_of(asn).unwrap();
+            let Some(domain) = &org.domain else { continue };
+            let Some(v) = ml.classify(&w.web, domain) else {
+                continue;
+            };
+            isp_scores.push(v.p_isp);
+            isp_truth.push(org.truth().layer2s().contains(&known::isp()));
+            host_scores.push(v.p_hosting);
+            host_truth.push(org.truth().layer2s().contains(&known::hosting()));
+        }
+        assert!(isp_scores.len() > 80, "too few scorable sites");
+        let isp_auc = Metrics::roc_auc(&isp_scores, &isp_truth);
+        let host_auc = Metrics::roc_auc(&host_scores, &host_truth);
+        // Paper: ISP AUC .94, hosting .80.
+        assert!(isp_auc > 0.85, "ISP AUC = {isp_auc}");
+        assert!(host_auc > 0.70, "hosting AUC = {host_auc}");
+    }
+
+    #[test]
+    fn unreachable_sites_yield_none() {
+        let w = world();
+        let ml = MlClassifiers::train(&w, WorldSeed::new(8));
+        let dead = w
+            .orgs
+            .iter()
+            .find(|o| !o.live_site && o.domain.is_some())
+            .unwrap();
+        assert!(ml.classify(&w.web, dead.domain.as_ref().unwrap()).is_none());
+    }
+
+    #[test]
+    fn classify_text_is_deterministic() {
+        let w = world();
+        let ml = MlClassifiers::train(&w, WorldSeed::new(9));
+        let a = ml.classify_text("fiber broadband internet provider coverage plans");
+        let b = ml.classify_text("fiber broadband internet provider coverage plans");
+        assert_eq!(a, b);
+        assert!(a.p_isp > a.p_hosting);
+    }
+}

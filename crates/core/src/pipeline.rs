@@ -1,0 +1,558 @@
+//! The Figure 4 classification pipeline.
+
+use crate::cache::{CachedResult, OrgCache, OrgKey};
+use crate::classifier::{MlClassifiers, MlVerdict};
+use crate::sources_set::SourceSet;
+use asdb_entity::domain_select::{select_domain, DomainCandidates, DomainStrategy};
+use asdb_model::{Domain, WorldSeed};
+use asdb_rir::ParsedWhois;
+use asdb_sources::{DataSource, Query, SourceId, SourceMatch};
+use asdb_taxonomy::naicslite::known;
+use asdb_taxonomy::{Category, CategorySet, Layer1};
+use asdb_websim::SimWeb;
+use asdb_worldgen::World;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+
+/// Which pipeline mechanism produced the final label — the rows of
+/// Table 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Stage {
+    /// Served from the organization cache.
+    Cached,
+    /// High-confidence ASN-indexed match (PeeringDB ISP label).
+    MatchedByAsn,
+    /// The ML classifier's verdict survived.
+    Classifier,
+    /// No source matched and the classifier did not fire.
+    ZeroSources,
+    /// Exactly one source matched.
+    OneSource,
+    /// ≥2 sources matched and at least two agreed.
+    MultiAgree,
+    /// ≥2 sources matched, none agreed; auto-choose picked the best-ranked.
+    MultiNoneAgree,
+}
+
+impl Stage {
+    /// Human-readable name matching Table 8's row labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Cached => "Cached",
+            Stage::MatchedByAsn => "Matched By ASN",
+            Stage::Classifier => "Classifier",
+            Stage::ZeroSources => "0 Sources Matched",
+            Stage::OneSource => "1 Sources Matched",
+            Stage::MultiAgree => ">=2 Sources Matched - >=2 Agree",
+            Stage::MultiNoneAgree => ">=2 Sources Matched - None Agree",
+        }
+    }
+}
+
+/// The result of classifying one AS.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Classification {
+    /// The AS.
+    pub asn: asdb_model::Asn,
+    /// The NAICSlite labels (empty = unclassified).
+    pub categories: CategorySet,
+    /// Which mechanism produced them.
+    pub stage: Stage,
+    /// Sources that contributed a (surviving) match.
+    pub sources: Vec<SourceId>,
+    /// The §5.1 most-likely domain, if one was selected.
+    pub chosen_domain: Option<Domain>,
+    /// The ML verdict, when a domain was classified.
+    pub ml: Option<MlVerdict>,
+    /// Each surviving source match's translated labels — kept so
+    /// downstream consumers (e.g. crowdwork integration, Appendix B) can
+    /// reconstruct "the union of category labels from external data
+    /// sources".
+    pub match_labels: Vec<(SourceId, CategorySet)>,
+}
+
+impl Classification {
+    /// Whether ASdb produced any label.
+    pub fn is_classified(&self) -> bool {
+        !self.categories.is_empty()
+    }
+}
+
+/// Pipeline feature switches, used by the ablation experiments to measure
+/// what each design choice contributes. Production ASdb runs with
+/// everything on.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipelineOptions {
+    /// Run the ISP/hosting classifiers (Figure 4's Classifier box).
+    pub use_ml: bool,
+    /// Arbitrate multi-source matches by agreement; when off, every
+    /// multi-source case goes straight to the auto-choose rank.
+    pub use_consensus: bool,
+    /// Honor the PeeringDB-ISP high-confidence shortcut.
+    pub use_asn_shortcut: bool,
+    /// Reject source matches whose domain disagrees with the chosen one.
+    pub reject_entity_disagreement: bool,
+    /// Domain-selection strategy (§5.1 step 4).
+    pub domain_strategy: DomainStrategy,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            use_ml: true,
+            use_consensus: true,
+            use_asn_shortcut: true,
+            reject_entity_disagreement: true,
+            domain_strategy: DomainStrategy::MostSimilar,
+        }
+    }
+}
+
+/// The assembled ASdb system.
+#[derive(Debug)]
+pub struct AsdbSystem {
+    /// The five production data sources.
+    pub sources: SourceSet,
+    /// The ISP/hosting classifiers.
+    pub ml: MlClassifiers,
+    /// Feature switches (default: everything on).
+    pub options: PipelineOptions,
+    web: SimWeb,
+    domain_counts: HashMap<Domain, usize>,
+    cache: OrgCache,
+    seed: WorldSeed,
+}
+
+impl AsdbSystem {
+    /// Build the full system over a world: construct the five sources,
+    /// train the classifiers, and snapshot the WHOIS-wide domain counts
+    /// the §5.1 filter needs.
+    pub fn build(world: &World, seed: WorldSeed) -> AsdbSystem {
+        let sources = SourceSet::build(world, seed.derive("sources"));
+        let ml = MlClassifiers::train(world, seed.derive("ml"));
+        let mut domain_counts: HashMap<Domain, usize> = HashMap::new();
+        for rec in &world.ases {
+            for d in rec.parsed.candidate_domains() {
+                *domain_counts.entry(d).or_insert(0) += 1;
+            }
+        }
+        AsdbSystem {
+            sources,
+            ml,
+            options: PipelineOptions::default(),
+            web: world.web.clone(),
+            domain_counts,
+            cache: OrgCache::new(),
+            seed: seed.derive("pipeline"),
+        }
+    }
+
+    /// Builder-style: the same system with different feature switches
+    /// (sources and classifiers are shared state, so this is cheap to call
+    /// per ablation arm).
+    pub fn with_options(mut self, options: PipelineOptions) -> AsdbSystem {
+        self.options = options;
+        self
+    }
+
+    /// The simulated web the system scrapes.
+    pub fn web(&self) -> &SimWeb {
+        &self.web
+    }
+
+    /// The organization cache.
+    pub fn cache(&self) -> &OrgCache {
+        &self.cache
+    }
+
+    /// WHOIS-wide AS count for a domain (§5.1 step 3 statistic).
+    pub fn domain_count(&self, domain: &Domain) -> usize {
+        self.domain_counts
+            .get(&domain.registrable())
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Run the §5.1 most-likely-domain algorithm for a WHOIS record,
+    /// pooling RIR candidate domains with ASN-queryable source domains.
+    pub fn select_domain(&self, whois: &ParsedWhois) -> Option<Domain> {
+        self.select_domain_with(whois, self.options.domain_strategy)
+    }
+
+    /// Domain selection with an explicit strategy (ablation entry point).
+    pub fn select_domain_with(
+        &self,
+        whois: &ParsedWhois,
+        strategy: DomainStrategy,
+    ) -> Option<Domain> {
+        let mut pool: Vec<(Domain, usize)> = whois
+            .candidate_domains()
+            .into_iter()
+            .map(|d| {
+                let c = self.domain_count(&d).max(1);
+                (d, c)
+            })
+            .collect();
+        if let Some(d) = self.sources.ipinfo.domain_of(whois.asn) {
+            let c = self.domain_count(&d).max(1);
+            pool.push((d, c));
+        }
+        let candidates = DomainCandidates::new(pool);
+        select_domain(&candidates, &whois.name, strategy, &self.web, self.seed)
+    }
+
+    /// Classify one AS, bypassing the cache (evaluation protocol).
+    pub fn classify(&self, whois: &ParsedWhois) -> Classification {
+        self.classify_with(whois, &self.options)
+    }
+
+    /// Classify with explicit feature switches — the ablation entry point
+    /// (the expensive state, sources and trained classifiers, is shared).
+    pub fn classify_with(
+        &self,
+        whois: &ParsedWhois,
+        options: &PipelineOptions,
+    ) -> Classification {
+        // Stage 1: ASN-indexed sources.
+        let asn_query = Query::by_asn(whois.asn);
+        let pdb_match = self.sources.peeringdb.search(&asn_query);
+        let ipinfo_match = self.sources.ipinfo.search(&asn_query);
+
+        // High-confidence shortcut: "only if PeeringDB returns an ISP
+        // label."
+        if options.use_asn_shortcut {
+        if let Some(t) = self.sources.peeringdb.network_type(whois.asn) {
+            if t.is_isp_signal() {
+                return Classification {
+                    asn: whois.asn,
+                    categories: t.to_naicslite(),
+                    stage: Stage::MatchedByAsn,
+                    sources: vec![SourceId::PeeringDb],
+                    chosen_domain: None,
+                    ml: None,
+                    match_labels: vec![(SourceId::PeeringDb, t.to_naicslite())],
+                };
+            }
+        }
+        }
+
+        // Stage 2: domain selection + ML.
+        let chosen_domain = self.select_domain_with(whois, options.domain_strategy);
+        let ml = if options.use_ml {
+            chosen_domain
+                .as_ref()
+                .and_then(|d| self.ml.classify(&self.web, d))
+        } else {
+            None
+        };
+
+        // Stage 3: match the remaining sources.
+        let query = Query {
+            asn: Some(whois.asn),
+            name: Some(whois.name.clone()),
+            domain: chosen_domain.clone(),
+            address: whois.address.clone(),
+            phone: whois.phone.clone(),
+        };
+        let mut matches: Vec<SourceMatch> = Vec::new();
+        for m in [
+            self.sources.dnb.search(&query),
+            self.sources.crunchbase.search(&query),
+            self.sources.zvelo.search(&query),
+            pdb_match,
+            ipinfo_match,
+        ]
+        .into_iter()
+        .flatten()
+        {
+            // Entity-disagreement rejection: "ASdb rejects matches where
+            // the data source provides a domain that does not match ASdb's
+            // chosen domain."
+            if options.reject_entity_disagreement {
+                if let (Some(md), Some(cd)) = (&m.domain, &chosen_domain) {
+                    if md.registrable() != cd.registrable() {
+                        continue;
+                    }
+                }
+            }
+            if m.categories.is_empty() {
+                continue;
+            }
+            matches.push(m);
+        }
+
+        self.consensus(whois.asn, chosen_domain, ml, matches, options)
+    }
+
+    /// Classify with the organization cache (production protocol).
+    pub fn classify_cached(&self, whois: &ParsedWhois) -> Classification {
+        let chosen = self.select_domain(whois);
+        let key = OrgKey::derive(chosen.as_ref(), &whois.name);
+        if let Some(k) = &key {
+            if let Some(hit) = self.cache.get(k) {
+                return Classification {
+                    asn: whois.asn,
+                    categories: hit.categories,
+                    stage: Stage::Cached,
+                    sources: Vec::new(),
+                    chosen_domain: chosen,
+                    ml: None,
+                    match_labels: Vec::new(),
+                };
+            }
+        }
+        let result = self.classify(whois);
+        if let Some(k) = key {
+            self.cache.put(
+                k,
+                CachedResult {
+                    categories: result.categories.clone(),
+                    provenance: result.stage.label().to_owned(),
+                },
+            );
+        }
+        result
+    }
+
+    /// The consensus phase (§5.1): agreement → union of agreeing labels;
+    /// no agreement → ML verdict if it fired, else auto-choose by accuracy
+    /// rank.
+    fn consensus(
+        &self,
+        asn: asdb_model::Asn,
+        chosen_domain: Option<Domain>,
+        ml: Option<MlVerdict>,
+        matches: Vec<SourceMatch>,
+        options: &PipelineOptions,
+    ) -> Classification {
+        let ml_cats = ml.filter(|v| v.fired()).map(|v| {
+            let mut s = CategorySet::new();
+            if v.is_isp() {
+                s.insert(Category::l2(known::isp()));
+            }
+            if v.is_hosting() {
+                s.insert(Category::l2(known::hosting()));
+            }
+            s
+        });
+        let source_ids: Vec<SourceId> = matches.iter().map(|m| m.source).collect();
+        let match_labels: Vec<(SourceId, CategorySet)> = matches
+            .iter()
+            .map(|m| (m.source, m.categories.clone()))
+            .collect();
+        let base = |categories: CategorySet, stage: Stage| Classification {
+            asn,
+            categories,
+            stage,
+            sources: source_ids.clone(),
+            chosen_domain: chosen_domain.clone(),
+            ml,
+            match_labels: match_labels.clone(),
+        };
+
+        // Layer-1 vote counting across sources (used both for consensus and
+        // for the classifier-override check).
+        let mut votes: HashMap<Layer1, usize> = HashMap::new();
+        for m in &matches {
+            for l1 in m.categories.layer1s() {
+                *votes.entry(l1).or_insert(0) += 1;
+            }
+        }
+        let agreed: BTreeSet<Layer1> = votes
+            .into_iter()
+            .filter(|(_, n)| *n >= 2)
+            .map(|(l1, _)| l1)
+            .collect();
+        let union: CategorySet = matches
+            .iter()
+            .flat_map(|m| m.categories.iter())
+            .filter(|c| agreed.contains(&c.layer1))
+            .collect();
+
+        // Figure 4: a fired classifier short-circuits to the results box —
+        // *except* when at least two data sources agree the organization is
+        // not a technology company at all, which is the documented way
+        // hosting verdicts get overruled ("another 9% were marked as
+        // non-hosting by at least two data sources, even when our
+        // classifier classified the AS as hosting", §5.2).
+        if let Some(mlc) = ml_cats {
+            if !agreed.is_empty() && !agreed.contains(&Layer1::ComputerAndIT) {
+                return base(union, Stage::MultiAgree);
+            }
+            return base(mlc, Stage::Classifier);
+        }
+
+        if matches.len() >= 2 {
+            if options.use_consensus && !agreed.is_empty() {
+                return base(union, Stage::MultiAgree);
+            }
+            // No agreement: the §5.1 auto-choose rank.
+            let best = matches
+                .iter()
+                .max_by(|a, b| {
+                    a.source
+                        .accuracy_rank()
+                        .partial_cmp(&b.source.accuracy_rank())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("matches non-empty");
+            return base(best.categories.clone(), Stage::MultiNoneAgree);
+        }
+        match matches.first() {
+            Some(m) => base(m.categories.clone(), Stage::OneSource),
+            None => base(CategorySet::new(), Stage::ZeroSources),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asdb_worldgen::WorldConfig;
+
+    fn setup() -> (World, AsdbSystem) {
+        let w = World::generate(WorldConfig::standard(WorldSeed::new(2021)));
+        let s = AsdbSystem::build(&w, WorldSeed::new(1));
+        (w, s)
+    }
+
+    #[test]
+    fn classifies_most_ases() {
+        let (w, s) = setup();
+        let sample = w.sample_asns(200, "pipeline-test");
+        let mut classified = 0usize;
+        for asn in &sample {
+            let rec = w.as_record(*asn).unwrap();
+            let c = s.classify(&rec.parsed);
+            classified += usize::from(c.is_classified());
+        }
+        let frac = classified as f64 / sample.len() as f64;
+        // Paper: 96% coverage.
+        assert!(frac > 0.85, "coverage = {frac}");
+    }
+
+    #[test]
+    fn layer1_accuracy_beats_any_single_source(/* Table 8's headline */) {
+        let (w, s) = setup();
+        let sample = w.sample_asns(300, "pipeline-acc");
+        let (mut ok, mut n) = (0usize, 0usize);
+        for asn in &sample {
+            let rec = w.as_record(*asn).unwrap();
+            let c = s.classify(&rec.parsed);
+            if !c.is_classified() {
+                continue;
+            }
+            let truth = w.org_of(*asn).unwrap().truth();
+            ok += usize::from(c.categories.overlaps_l1(&truth));
+            n += 1;
+        }
+        let acc = ok as f64 / n as f64;
+        assert!(acc > 0.85, "L1 accuracy = {acc} over {n}");
+    }
+
+    #[test]
+    fn peeringdb_isp_shortcut_used() {
+        let (w, s) = setup();
+        let mut found = false;
+        for rec in w.ases.iter().take(600) {
+            let c = s.classify(&rec.parsed);
+            if c.stage == Stage::MatchedByAsn {
+                assert!(c.categories.layer2s().contains(&known::isp()));
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "shortcut never triggered in 600 ASes");
+    }
+
+    #[test]
+    fn all_stages_occur() {
+        let (w, s) = setup();
+        let mut seen: BTreeSet<&'static str> = BTreeSet::new();
+        for rec in w.ases.iter().take(1200) {
+            let c = s.classify(&rec.parsed);
+            seen.insert(c.stage.label());
+        }
+        for stage in [
+            Stage::MatchedByAsn,
+            Stage::Classifier,
+            Stage::OneSource,
+            Stage::MultiAgree,
+        ] {
+            assert!(seen.contains(stage.label()), "missing stage {stage:?}; saw {seen:?}");
+        }
+    }
+
+    #[test]
+    fn cache_serves_second_as_of_same_org() {
+        let (w, s) = setup();
+        // Find an org with 2 ASes.
+        let mut by_org: HashMap<_, Vec<_>> = HashMap::new();
+        for rec in &w.ases {
+            by_org.entry(rec.org).or_default().push(rec);
+        }
+        // ASdb unifies two ASes only when their identity signals (selected
+        // domain / normalized name) coincide — find such a pair.
+        let mut verified = false;
+        for group in by_org.values().filter(|v| v.len() >= 2) {
+            let key0 = crate::cache::OrgKey::derive(
+                s.select_domain(&group[0].parsed).as_ref(),
+                &group[0].parsed.name,
+            );
+            let key1 = crate::cache::OrgKey::derive(
+                s.select_domain(&group[1].parsed).as_ref(),
+                &group[1].parsed.name,
+            );
+            if key0.is_none() || key0 != key1 {
+                continue;
+            }
+            let first = s.classify_cached(&group[0].parsed);
+            let second = s.classify_cached(&group[1].parsed);
+            assert_ne!(first.stage, Stage::Cached);
+            assert_eq!(second.stage, Stage::Cached);
+            assert_eq!(second.categories, first.categories);
+            verified = true;
+            break;
+        }
+        assert!(verified, "no multi-AS org with matching identity keys found");
+    }
+
+    #[test]
+    fn classification_is_deterministic() {
+        let (w, s) = setup();
+        let rec = &w.ases[17];
+        let a = s.classify(&rec.parsed);
+        let b = s.classify(&rec.parsed);
+        assert_eq!(a.categories, b.categories);
+        assert_eq!(a.stage, b.stage);
+    }
+
+    #[test]
+    fn agreement_stage_is_most_accurate(/* Table 8's per-stage shape */) {
+        let (w, s) = setup();
+        let mut per_stage: HashMap<Stage, (usize, usize)> = HashMap::new();
+        for rec in w.ases.iter().take(800) {
+            let c = s.classify(&rec.parsed);
+            if !c.is_classified() {
+                continue;
+            }
+            let truth = w.org_of(rec.asn).unwrap().truth();
+            let e = per_stage.entry(c.stage).or_insert((0, 0));
+            e.0 += usize::from(c.categories.overlaps_l1(&truth));
+            e.1 += 1;
+        }
+        let acc = |s: Stage| {
+            per_stage
+                .get(&s)
+                .map(|(a, b)| *a as f64 / (*b).max(1) as f64)
+                .unwrap_or(0.0)
+        };
+        assert!(
+            acc(Stage::MultiAgree) >= acc(Stage::MultiNoneAgree),
+            "agree {} < none-agree {}",
+            acc(Stage::MultiAgree),
+            acc(Stage::MultiNoneAgree)
+        );
+        assert!(acc(Stage::MultiAgree) > 0.9);
+    }
+}

@@ -1,0 +1,80 @@
+//! The bundle of external data sources ASdb ships with.
+
+use asdb_model::WorldSeed;
+use asdb_sources::crunchbase::Crunchbase;
+use asdb_sources::dnb::Dnb;
+use asdb_sources::ipinfo::Ipinfo;
+use asdb_sources::peeringdb::PeeringDb;
+use asdb_sources::zvelo::Zvelo;
+use asdb_sources::{DataSource, Query, SourceId, SourceMatch};
+use asdb_worldgen::World;
+
+/// ASdb's five production sources (Table 1: "ASdb uses D&B, Crunchbase,
+/// PeeringDB, IPinfo, and Zvelo").
+#[derive(Debug, Clone)]
+pub struct SourceSet {
+    /// Dun & Bradstreet.
+    pub dnb: Dnb,
+    /// Crunchbase.
+    pub crunchbase: Crunchbase,
+    /// Zvelo.
+    pub zvelo: Zvelo,
+    /// PeeringDB.
+    pub peeringdb: PeeringDb,
+    /// IPinfo.
+    pub ipinfo: Ipinfo,
+}
+
+impl SourceSet {
+    /// Build all five over a world.
+    pub fn build(world: &World, seed: WorldSeed) -> SourceSet {
+        SourceSet {
+            dnb: Dnb::build(world, seed),
+            crunchbase: Crunchbase::build(world, seed),
+            zvelo: Zvelo::build(world, seed),
+            peeringdb: PeeringDb::build(world, seed),
+            ipinfo: Ipinfo::build(world, seed),
+        }
+    }
+
+    /// A source by id (the two dropped sources are not in the set).
+    pub fn get(&self, id: SourceId) -> Option<&dyn DataSource> {
+        match id {
+            SourceId::Dnb => Some(&self.dnb),
+            SourceId::Crunchbase => Some(&self.crunchbase),
+            SourceId::Zvelo => Some(&self.zvelo),
+            SourceId::PeeringDb => Some(&self.peeringdb),
+            SourceId::Ipinfo => Some(&self.ipinfo),
+            SourceId::ZoomInfo | SourceId::Clearbit => None,
+        }
+    }
+
+    /// Run an automated search against every production source.
+    pub fn search_all(&self, query: &Query) -> Vec<SourceMatch> {
+        SourceId::ASDB_FIVE
+            .iter()
+            .filter_map(|id| self.get(*id))
+            .filter_map(|s| s.search(query))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asdb_worldgen::WorldConfig;
+
+    #[test]
+    fn builds_and_dispatches() {
+        let w = World::generate(WorldConfig::small(WorldSeed::new(5)));
+        let s = SourceSet::build(&w, WorldSeed::new(6));
+        assert!(s.get(SourceId::Dnb).is_some());
+        assert!(s.get(SourceId::ZoomInfo).is_none());
+        // An ASN-only query can only hit the two networking sources.
+        let asn = w.ases[0].asn;
+        let hits = s.search_all(&Query::by_asn(asn));
+        for h in &hits {
+            assert!(matches!(h.source, SourceId::PeeringDb | SourceId::Ipinfo));
+        }
+    }
+}

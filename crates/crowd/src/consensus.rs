@@ -1,0 +1,110 @@
+//! Consensus over worker labels.
+//!
+//! "We set the consensus requirement to be at least two out of three MTurks
+//! assigning an AS the same category label" — Figure 7 varies this to 3/5
+//! and 4/5.
+
+use asdb_taxonomy::{Category, CategorySet};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A k-of-n consensus requirement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConsensusRule {
+    /// Workers that must agree on a category.
+    pub k: usize,
+    /// Workers assigned to the task.
+    pub n: usize,
+}
+
+impl ConsensusRule {
+    /// 2-of-3, the paper's default.
+    pub const TWO_OF_THREE: ConsensusRule = ConsensusRule { k: 2, n: 3 };
+    /// 3-of-5.
+    pub const THREE_OF_FIVE: ConsensusRule = ConsensusRule { k: 3, n: 5 };
+    /// 4-of-5, the strictest evaluated.
+    pub const FOUR_OF_FIVE: ConsensusRule = ConsensusRule { k: 4, n: 5 };
+}
+
+/// The categories at least `k` of the workers applied. Empty means no
+/// consensus ("If no consensus among the MTurks is reached … we exclude it
+/// from our accuracy count because there is no reliable label").
+pub fn consensus_labels(labels: &[CategorySet], rule: ConsensusRule) -> CategorySet {
+    let mut counts: BTreeMap<Category, usize> = BTreeMap::new();
+    for set in labels {
+        for c in set.iter() {
+            *counts.entry(c).or_insert(0) += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .filter(|(_, n)| *n >= rule.k)
+        .map(|(c, _)| c)
+        .collect()
+}
+
+/// Loose-match: "at least one consensus-backed crowdworker category is
+/// contained in the set of Gold Standard categories."
+pub fn loose_match(consensus: &CategorySet, truth: &CategorySet) -> bool {
+    consensus.overlaps_l2(truth)
+        || consensus
+            .iter()
+            .any(|c| c.layer2.is_none() && truth.layer1s().contains(&c.layer1))
+}
+
+/// Strict-match: "all consensus-backed crowdworker categories match all
+/// Gold Standard categories."
+pub fn strict_match(consensus: &CategorySet, truth: &CategorySet) -> bool {
+    !consensus.is_empty() && consensus.complete_overlap(truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asdb_taxonomy::naicslite::known;
+
+    fn set(cats: &[Category]) -> CategorySet {
+        cats.iter().copied().collect()
+    }
+
+    #[test]
+    fn two_of_three_consensus() {
+        let isp = Category::l2(known::isp());
+        let hosting = Category::l2(known::hosting());
+        let labels = vec![set(&[isp]), set(&[isp, hosting]), set(&[hosting])];
+        let c = consensus_labels(&labels, ConsensusRule::TWO_OF_THREE);
+        // Both isp and hosting appear twice.
+        assert_eq!(c.len(), 2);
+        let labels = vec![set(&[isp]), set(&[hosting]), set(&[Category::l2(known::banks())])];
+        let c = consensus_labels(&labels, ConsensusRule::TWO_OF_THREE);
+        assert!(c.is_empty(), "three-way split has no consensus");
+    }
+
+    #[test]
+    fn stricter_rules_need_more_votes() {
+        let isp = Category::l2(known::isp());
+        let labels = vec![
+            set(&[isp]),
+            set(&[isp]),
+            set(&[isp]),
+            set(&[Category::l2(known::hosting())]),
+            set(&[Category::l2(known::banks())]),
+        ];
+        assert!(!consensus_labels(&labels, ConsensusRule::THREE_OF_FIVE).is_empty());
+        assert!(consensus_labels(&labels, ConsensusRule::FOUR_OF_FIVE).is_empty());
+    }
+
+    #[test]
+    fn loose_and_strict_matching() {
+        let truth = set(&[Category::l2(known::isp()), Category::l2(known::hosting())]);
+        let partial = set(&[Category::l2(known::isp())]);
+        assert!(loose_match(&partial, &truth));
+        assert!(!strict_match(&partial, &truth));
+        assert!(strict_match(&truth.clone(), &truth));
+        let wrong = set(&[Category::l2(known::banks())]);
+        assert!(!loose_match(&wrong, &truth));
+        let empty = CategorySet::new();
+        assert!(!strict_match(&empty, &truth));
+        assert!(!loose_match(&empty, &truth));
+    }
+}

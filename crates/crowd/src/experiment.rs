@@ -1,0 +1,264 @@
+//! Running crowd assignments and aggregating the Appendix B metrics.
+
+use crate::consensus::{consensus_labels, loose_match, strict_match, ConsensusRule};
+use crate::task::CrowdTask;
+use crate::worker::Worker;
+use asdb_model::WorldSeed;
+use asdb_taxonomy::{Category, CategorySet};
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one crowd assignment.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CrowdConfig {
+    /// Reward offered per task, in cents.
+    pub reward_cents: u32,
+    /// Consensus rule (also fixes the cohort size).
+    pub rule: ConsensusRule,
+}
+
+/// Aggregated outcome of running a task set through a cohort.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AssignmentOutcome {
+    /// Tasks given.
+    pub n_tasks: usize,
+    /// Tasks reaching consensus on ≥1 category — the coverage metric.
+    pub consensus_reached: usize,
+    /// Of consensus tasks, how many loose-matched the truth.
+    pub loose_correct: usize,
+    /// Of consensus tasks, how many strict-matched the truth.
+    pub strict_correct: usize,
+    /// Per-(task, worker) hourly wages in dollars.
+    pub wages_per_hour: Vec<f64>,
+    /// Total paid out, in dollars.
+    pub total_cost_dollars: f64,
+    /// Per-task consensus labels (empty set = none).
+    pub consensus: Vec<CategorySet>,
+}
+
+impl AssignmentOutcome {
+    /// Coverage: fraction of tasks with consensus.
+    pub fn coverage(&self) -> f64 {
+        frac(self.consensus_reached, self.n_tasks)
+    }
+
+    /// Loose accuracy over consensus tasks.
+    pub fn loose_accuracy(&self) -> f64 {
+        frac(self.loose_correct, self.consensus_reached)
+    }
+
+    /// Strict accuracy over consensus tasks.
+    pub fn strict_accuracy(&self) -> f64 {
+        frac(self.strict_correct, self.consensus_reached)
+    }
+
+    /// Median hourly wage in dollars.
+    pub fn median_wage(&self) -> f64 {
+        if self.wages_per_hour.is_empty() {
+            return 0.0;
+        }
+        let mut w = self.wages_per_hour.clone();
+        w.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        w[w.len() / 2]
+    }
+
+    /// Mean hourly wage in dollars.
+    pub fn mean_wage(&self) -> f64 {
+        if self.wages_per_hour.is_empty() {
+            return 0.0;
+        }
+        self.wages_per_hour.iter().sum::<f64>() / self.wages_per_hour.len() as f64
+    }
+}
+
+fn frac(a: usize, b: usize) -> f64 {
+    if b == 0 {
+        0.0
+    } else {
+        a as f64 / b as f64
+    }
+}
+
+/// One worker's answer to one task.
+fn worker_answer(
+    worker: &Worker,
+    task: &CrowdTask,
+    config: &CrowdConfig,
+    rng: &mut StdRng,
+) -> CategorySet {
+    let p = worker.p_correct(config.reward_cents, task.ease);
+    let correct_opts = task.correct_options();
+    if !correct_opts.is_empty() && rng.random_bool(p) {
+        // Diligent and right: pick one (sometimes two) correct options.
+        let mut out = CategorySet::new();
+        out.insert(*correct_opts.choose(rng).expect("non-empty"));
+        if correct_opts.len() > 1 && rng.random_bool(0.3) {
+            out.insert(*correct_opts.choose(rng).expect("non-empty"));
+        }
+        out
+    } else {
+        // Wrong or unanswerable: a distractor option (or nothing at all —
+        // "none of the above" — for a sliver of workers).
+        if rng.random_bool(0.08) {
+            return CategorySet::new();
+        }
+        let wrong: Vec<Category> = task
+            .options
+            .iter()
+            .copied()
+            .filter(|o| !correct_opts.contains(o))
+            .collect();
+        match wrong.choose(rng) {
+            Some(c) => CategorySet::single(*c),
+            None => match task.options.choose(rng) {
+                Some(c) => CategorySet::single(*c),
+                None => CategorySet::new(),
+            },
+        }
+    }
+}
+
+/// Run a full assignment: every task goes to a fresh slice of the cohort.
+pub fn run_assignment(
+    tasks: &[CrowdTask],
+    config: CrowdConfig,
+    cohort_label: &str,
+    seed: WorldSeed,
+) -> AssignmentOutcome {
+    let workers = Worker::cohort(config.rule.n, cohort_label, seed);
+    let mut rng = StdRng::seed_from_u64(
+        seed.derive("assignment").derive(cohort_label).value(),
+    );
+    let mut outcome = AssignmentOutcome {
+        n_tasks: tasks.len(),
+        consensus_reached: 0,
+        loose_correct: 0,
+        strict_correct: 0,
+        wages_per_hour: Vec::new(),
+        total_cost_dollars: 0.0,
+        consensus: Vec::with_capacity(tasks.len()),
+    };
+    for (ti, task) in tasks.iter().enumerate() {
+        let mut labels = Vec::with_capacity(workers.len());
+        for w in &workers {
+            labels.push(worker_answer(w, task, &config, &mut rng));
+            let secs = w.seconds(config.reward_cents, task.ease, ti as u64, seed);
+            let dollars = config.reward_cents as f64 / 100.0;
+            outcome.wages_per_hour.push(dollars * 3600.0 / secs);
+            outcome.total_cost_dollars += dollars;
+        }
+        let cons = consensus_labels(&labels, config.rule);
+        if !cons.is_empty() {
+            outcome.consensus_reached += 1;
+            outcome.loose_correct += usize::from(loose_match(&cons, &task.truth));
+            outcome.strict_correct += usize::from(strict_match(&cons, &task.truth));
+        }
+        outcome.consensus.push(cons);
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskKind;
+    use asdb_model::Asn;
+    use asdb_taxonomy::naicslite::known;
+    use asdb_taxonomy::Layer1;
+
+    fn tech_tasks(n: usize, ease: f64) -> Vec<CrowdTask> {
+        (0..n)
+            .map(|i| CrowdTask {
+                asn: Asn::new(i as u32 + 1),
+                kind: TaskKind::OpenClassification,
+                options: Layer1::ComputerAndIT
+                    .layer2_iter()
+                    .map(Category::l2)
+                    .collect(),
+                truth: CategorySet::single(if i % 2 == 0 {
+                    known::isp()
+                } else {
+                    known::hosting()
+                }),
+                ease,
+            })
+            .collect()
+    }
+
+    fn run(reward: u32, rule: ConsensusRule, ease: f64) -> AssignmentOutcome {
+        run_assignment(
+            &tech_tasks(120, ease),
+            CrowdConfig {
+                reward_cents: reward,
+                rule,
+            },
+            &format!("test-{reward}-{}-{}", rule.k, rule.n),
+            WorldSeed::new(99),
+        )
+    }
+
+    #[test]
+    fn coverage_rises_with_reward() {
+        let low = run(10, ConsensusRule::TWO_OF_THREE, 0.45);
+        let high = run(60, ConsensusRule::TWO_OF_THREE, 0.45);
+        assert!(
+            high.coverage() > low.coverage(),
+            "coverage {:.2} → {:.2}",
+            low.coverage(),
+            high.coverage()
+        );
+    }
+
+    #[test]
+    fn accuracy_is_roughly_flat_in_reward() {
+        let low = run(10, ConsensusRule::TWO_OF_THREE, 0.45);
+        let high = run(60, ConsensusRule::TWO_OF_THREE, 0.45);
+        let delta = (high.loose_accuracy() - low.loose_accuracy()).abs();
+        assert!(delta < 0.15, "accuracy moved {delta:.2} with reward");
+    }
+
+    #[test]
+    fn stricter_consensus_trades_coverage_for_accuracy() {
+        let loose_rule = run(30, ConsensusRule::TWO_OF_THREE, 0.45);
+        let strict_rule = run(30, ConsensusRule::FOUR_OF_FIVE, 0.45);
+        assert!(strict_rule.coverage() < loose_rule.coverage());
+        assert!(strict_rule.loose_accuracy() >= loose_rule.loose_accuracy() - 0.02);
+    }
+
+    #[test]
+    fn easy_tasks_reach_more_consensus() {
+        let hard = run(30, ConsensusRule::TWO_OF_THREE, 0.3);
+        let easy = run(30, ConsensusRule::TWO_OF_THREE, 0.9);
+        assert!(easy.coverage() > hard.coverage());
+        assert!(easy.loose_accuracy() > hard.loose_accuracy());
+    }
+
+    #[test]
+    fn wages_are_plausible_and_not_proportional_to_reward() {
+        let r10 = run(10, ConsensusRule::TWO_OF_THREE, 0.5);
+        let r60 = run(60, ConsensusRule::TWO_OF_THREE, 0.5);
+        // Mean wage across all assignments lands in a human range.
+        assert!(r10.mean_wage() > 2.0 && r10.mean_wage() < 80.0);
+        assert!(r60.mean_wage() > 2.0 && r60.mean_wage() < 200.0);
+        // A 6× reward must NOT produce a 6× median wage (time dominates).
+        let ratio = r60.median_wage() / r10.median_wage();
+        assert!(ratio < 6.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn cost_accounting() {
+        let o = run(30, ConsensusRule::TWO_OF_THREE, 0.5);
+        // 120 tasks × 3 workers × $0.30.
+        assert!((o.total_cost_dollars - 108.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run(30, ConsensusRule::TWO_OF_THREE, 0.5);
+        let b = run(30, ConsensusRule::TWO_OF_THREE, 0.5);
+        assert_eq!(a.consensus_reached, b.consensus_reached);
+        assert_eq!(a.loose_correct, b.loose_correct);
+    }
+}

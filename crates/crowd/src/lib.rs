@@ -1,0 +1,39 @@
+//! # asdb-crowd
+//!
+//! The crowdwork (Amazon Mechanical Turk) simulator behind Appendix B.
+//!
+//! The paper explores paying "Master MTurks" to classify ASes and measures
+//! how the offered reward and the consensus requirement drive coverage,
+//! accuracy, hourly wages, and total cost — ultimately concluding that
+//! "the accuracy gain from crowdwork is not worth the cost" (§4.2).
+//!
+//! The simulator models the *worker*, not the result: each worker has a
+//! skill, a diligence that rises with the offered reward, and a
+//! heavy-tailed time-per-task distribution that barely depends on reward.
+//! From those mechanisms the paper's findings emerge:
+//!
+//! * coverage (consensus rate) rises with reward (Figure 5a),
+//! * accuracy-given-consensus is roughly flat in reward, with a slight
+//!   *decrease* in loose accuracy as coverage grows — low rewards only
+//!   reach consensus on the easy cases (Figure 5b),
+//! * reward-per-task and hourly wage are not directly correlated
+//!   (Figure 6),
+//! * stricter consensus (4/5 vs 2/3) trades coverage for accuracy
+//!   (Figure 7).
+//!
+//! [`cost`] prices the two candidate uses of crowdwork in ASdb (catching ML
+//! false negatives: ≈ $31k; resolving source disagreements: ≈ $6k).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod consensus;
+pub mod cost;
+pub mod experiment;
+pub mod task;
+pub mod worker;
+
+pub use consensus::{consensus_labels, ConsensusRule};
+pub use experiment::{run_assignment, AssignmentOutcome, CrowdConfig};
+pub use task::{CrowdTask, TaskKind};
+pub use worker::Worker;

@@ -1,0 +1,137 @@
+//! The crowdworker behavioral model.
+
+use asdb_model::WorldSeed;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A Master MTurk ("we hire only Master MTurks for the duration of our
+/// experiments" — they "consistently submit a lot of high quality work").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Worker {
+    /// Worker index within its cohort.
+    pub id: u64,
+    /// Intrinsic labeling skill in `[0.6, 0.98]`.
+    pub skill: f64,
+    /// Work-pace multiplier: seconds-per-task scale (log-normal-ish).
+    pub pace: f64,
+}
+
+impl Worker {
+    /// Sample a cohort of distinct workers. Cohorts never overlap between
+    /// experiments ("ensure that no MTurks overlap between assignments"):
+    /// the label keys the cohort.
+    pub fn cohort(n: usize, label: &str, seed: WorldSeed) -> Vec<Worker> {
+        let mut rng =
+            StdRng::seed_from_u64(seed.derive("cohort").derive(label).value());
+        (0..n)
+            .map(|id| {
+                let skill = 0.6 + 0.38 * rng.random_range(0.0..1.0f64);
+                // Log-normal pace: most workers near 1×, a few 3–4× slower.
+                let z: f64 = rng.random_range(-1.0..1.0f64)
+                    + rng.random_range(-1.0..1.0f64);
+                let pace = (0.45 * z).exp();
+                Worker {
+                    id: id as u64,
+                    skill,
+                    pace,
+                }
+            })
+            .collect()
+    }
+
+    /// Probability this worker labels a task correctly, given the offered
+    /// reward (cents) and the task's intrinsic ease in `[0,1]`.
+    ///
+    /// Reward buys *diligence* (whether the worker actually researches the
+    /// AS instead of clicking through) — a modest effect, saturating
+    /// quickly, which is why Figure 5b finds accuracy and reward "not
+    /// directly correlated" while Figure 5a's consensus rate still rises.
+    pub fn p_correct(&self, reward_cents: u32, ease: f64) -> f64 {
+        let diligence = 0.78 + 0.18 * ((reward_cents as f64 - 10.0) / 50.0).clamp(0.0, 1.0);
+        (self.skill * diligence * (0.55 + 0.45 * ease)).clamp(0.02, 0.99)
+    }
+
+    /// Seconds this worker spends on a task. Dominated by the worker's own
+    /// pace and the task's ease, *not* by the reward (the ±8% term), which
+    /// is what decouples wages from rewards (Figure 6).
+    pub fn seconds(&self, reward_cents: u32, ease: f64, task_idx: u64, seed: WorldSeed) -> f64 {
+        let mut rng = StdRng::seed_from_u64(
+            seed.derive_index("seconds", self.id ^ (task_idx << 20)).value(),
+        );
+        let base = 18.0 + 60.0 * (1.0 - ease);
+        let reward_drag = 1.0 + 0.08 * ((reward_cents as f64 - 30.0) / 30.0);
+        let noise = rng.random_range(0.6..1.8f64);
+        (base * self.pace * reward_drag * noise).max(4.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cohorts_are_deterministic_and_disjoint_by_label() {
+        let a = Worker::cohort(5, "exp-10c", WorldSeed::new(1));
+        let b = Worker::cohort(5, "exp-10c", WorldSeed::new(1));
+        let c = Worker::cohort(5, "exp-20c", WorldSeed::new(1));
+        assert_eq!(a.len(), 5);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.skill, y.skill);
+        }
+        assert!(a.iter().zip(&c).any(|(x, y)| x.skill != y.skill));
+    }
+
+    #[test]
+    fn accuracy_rises_mildly_with_reward() {
+        let w = Worker {
+            id: 0,
+            skill: 0.85,
+            pace: 1.0,
+        };
+        let low = w.p_correct(10, 0.7);
+        let high = w.p_correct(60, 0.7);
+        assert!(high > low);
+        assert!(high - low < 0.20, "effect must stay modest: {low} → {high}");
+    }
+
+    #[test]
+    fn easy_tasks_are_easier() {
+        let w = Worker {
+            id: 0,
+            skill: 0.85,
+            pace: 1.0,
+        };
+        assert!(w.p_correct(30, 0.9) > w.p_correct(30, 0.3));
+    }
+
+    #[test]
+    fn time_mostly_independent_of_reward() {
+        let w = Worker {
+            id: 3,
+            skill: 0.8,
+            pace: 1.0,
+        };
+        let t10 = w.seconds(10, 0.5, 1, WorldSeed::new(2));
+        let t60 = w.seconds(60, 0.5, 1, WorldSeed::new(2));
+        // Same noise seed, so the only delta is the small reward drag.
+        assert!((t60 / t10 - 1.0).abs() < 0.25);
+    }
+
+    #[test]
+    fn probabilities_bounded() {
+        for skill in [0.0, 0.5, 1.0] {
+            let w = Worker {
+                id: 0,
+                skill,
+                pace: 1.0,
+            };
+            for r in [0u32, 10, 60, 200] {
+                for e in [0.0, 0.5, 1.0] {
+                    let p = w.p_correct(r, e);
+                    assert!((0.0..=1.0).contains(&p));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! String-similarity primitives.
+//!
+//! All scores are in `[0, 1]`, higher = more similar. `name_similarity` is
+//! the workhorse: a blend of character-level Jaro–Winkler and token-set
+//! Jaccard over normalized organization names, tolerant of the legal-suffix
+//! and word-order noise typical of WHOIS.
+
+/// Jaro similarity between two strings (by Unicode scalar values).
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_taken = vec![false; b.len()];
+    let mut matches_a: Vec<char> = Vec::new();
+    let mut match_positions_b: Vec<usize> = Vec::new();
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_taken[j] && b[j] == ca {
+                b_taken[j] = true;
+                matches_a.push(ca);
+                match_positions_b.push(j);
+                break;
+            }
+        }
+    }
+    let m = matches_a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    // Transpositions: compare matched sequences in order.
+    let mut b_matches: Vec<(usize, char)> = match_positions_b
+        .iter()
+        .map(|&j| (j, b[j]))
+        .collect();
+    b_matches.sort_by_key(|(j, _)| *j);
+    let t = matches_a
+        .iter()
+        .zip(b_matches.iter().map(|(_, c)| c))
+        .filter(|(x, y)| x != y)
+        .count() as f64
+        / 2.0;
+    let m = m as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro–Winkler: Jaro boosted for a shared prefix (up to 4 chars, standard
+/// scaling 0.1).
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    j + prefix * 0.1 * (1.0 - j)
+}
+
+/// Jaccard similarity of lowercase alphanumeric token sets.
+pub fn token_jaccard(a: &str, b: &str) -> f64 {
+    let ta = tokens(a);
+    let tb = tokens(b);
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    let inter = ta.intersection(&tb).count() as f64;
+    let union = ta.union(&tb).count() as f64;
+    inter / union
+}
+
+fn tokens(s: &str) -> std::collections::BTreeSet<String> {
+    s.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| t.len() >= 2)
+        .map(str::to_lowercase)
+        // Legal suffixes carry no identity: "Acme Corp" vs "Zenith Corp"
+        // share nothing that matters.
+        .filter(|t| !asdb_model::org::LEGAL_SUFFIXES.contains(&t.as_str()))
+        .collect()
+}
+
+/// Combined organization-name similarity: the max of token-set Jaccard and
+/// whole-string Jaro–Winkler over lowercased input, with a partial-credit
+/// boost when one name's tokens are a subset of the other's (abbreviations,
+/// dropped suffixes).
+pub fn name_similarity(a: &str, b: &str) -> f64 {
+    let la = a.to_lowercase();
+    let lb = b.to_lowercase();
+    let jw = jaro_winkler(&la, &lb);
+    let jac = token_jaccard(&la, &lb);
+    let ta = tokens(&la);
+    let tb = tokens(&lb);
+    let subset_bonus = if !ta.is_empty()
+        && !tb.is_empty()
+        && (ta.is_subset(&tb) || tb.is_subset(&ta))
+    {
+        0.85
+    } else {
+        0.0
+    };
+    // Character-level similarity alone is unreliable for unrelated names
+    // (Jaro–Winkler sits near 0.5 for random English phrases), so discount
+    // it when the names share no tokens at all.
+    let jw_weighted = if jac > 0.0 { jw } else { jw * 0.75 };
+    jw_weighted.max(jac).max(subset_bonus)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn jaro_known_values() {
+        // Classic reference pair.
+        let v = jaro("martha", "marhta");
+        assert!((v - 0.944444).abs() < 1e-4, "{v}");
+        let v = jaro("dixon", "dicksonx");
+        assert!((v - 0.766667).abs() < 1e-4, "{v}");
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("abc", ""), 0.0);
+        assert_eq!(jaro("abc", "abc"), 1.0);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn jaro_winkler_known_values() {
+        let v = jaro_winkler("martha", "marhta");
+        assert!((v - 0.961111).abs() < 1e-4, "{v}");
+        // Prefix boost makes it ≥ jaro.
+        assert!(jaro_winkler("prefixed", "prefixes") >= jaro("prefixed", "prefixes"));
+    }
+
+    #[test]
+    fn token_jaccard_basics() {
+        assert_eq!(token_jaccard("alpha beta", "beta alpha"), 1.0);
+        assert_eq!(token_jaccard("alpha beta", "gamma delta"), 0.0);
+        let half = token_jaccard("alpha beta", "alpha gamma");
+        assert!((half - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(token_jaccard("", ""), 1.0);
+        assert_eq!(token_jaccard("abc", ""), 0.0);
+    }
+
+    #[test]
+    fn name_similarity_handles_whois_noise() {
+        // Dropped legal suffix.
+        assert!(name_similarity("Level 3 Parent, LLC", "Level 3 Parent") > 0.8);
+        // Word-order shuffle.
+        assert!(name_similarity("Telekom Deutsche", "Deutsche Telekom") > 0.8);
+        // Unrelated names score low.
+        assert!(name_similarity("Panama Canal Authority", "Acme Hosting") < 0.5);
+        // Abbreviation subset.
+        assert!(name_similarity("SUMIDA Romania", "SUMIDA Romania SRL Factory Division") > 0.8);
+    }
+
+    #[test]
+    fn similar_beats_dissimilar_for_title_matching() {
+        // The Table 5 scenario: pick the domain whose homepage title best
+        // matches the AS name.
+        let as_name = "ACMENET";
+        let right = name_similarity(as_name, "Acmenet Communications — fiber and broadband");
+        let wrong = name_similarity(as_name, "Gmail — email from Google");
+        assert!(right > wrong);
+    }
+
+    proptest! {
+        #[test]
+        fn scores_bounded(a in ".{0,40}", b in ".{0,40}") {
+            for f in [jaro, jaro_winkler, token_jaccard, name_similarity] {
+                let v = f(&a, &b);
+                prop_assert!((0.0..=1.0).contains(&v), "{v}");
+            }
+        }
+
+        #[test]
+        fn identity_scores_one(a in "[a-z]{1,20}") {
+            prop_assert!((jaro(&a, &a) - 1.0).abs() < 1e-12);
+            prop_assert!((name_similarity(&a, &a) - 1.0).abs() < 1e-12);
+        }
+
+        #[test]
+        fn symmetry(a in "[a-z ]{0,25}", b in "[a-z ]{0,25}") {
+            prop_assert!((jaro(&a, &b) - jaro(&b, &a)).abs() < 1e-12);
+            prop_assert!((token_jaccard(&a, &b) - token_jaccard(&b, &a)).abs() < 1e-12);
+        }
+    }
+}

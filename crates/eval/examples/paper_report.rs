@@ -1,0 +1,21 @@
+//! Regenerate the complete paper evaluation — every table and figure — at
+//! standard scale and print the full report.
+//!
+//! ```sh
+//! cargo run --release --example paper_report
+//! ```
+//!
+//! `EXPERIMENTS.md` records this output against the paper's numbers.
+
+use asdb_eval::{experiments, ExperimentContext};
+use asdb_model::WorldSeed;
+use std::time::Instant;
+
+fn main() {
+    let start = Instant::now();
+    eprintln!("Building standard experiment context (world + sources + ML)...");
+    let ctx = ExperimentContext::standard(WorldSeed::DEFAULT);
+    eprintln!("  ready in {:.1}s\n", start.elapsed().as_secs_f64());
+    println!("{}", experiments::run_all(&ctx));
+    eprintln!("\nTotal: {:.1}s", start.elapsed().as_secs_f64());
+}

@@ -1,0 +1,212 @@
+//! Design-choice ablations.
+//!
+//! The paper argues each pipeline ingredient earns its place ("aggregating
+//! existing data sources — no matter their coverage or accuracy — and
+//! different classification solutions … helps build the best-performing
+//! classification system", §6). These ablations quantify that: turn one
+//! ingredient off at a time, re-run the Table 8 evaluation, and report the
+//! damage.
+
+use crate::goldsets::GoldSet;
+use crate::source_eval::Ratio;
+use asdb_core::pipeline::PipelineOptions;
+use asdb_core::AsdbSystem;
+use asdb_entity::domain_select::DomainStrategy;
+use asdb_taxonomy::naicslite::known;
+use asdb_worldgen::World;
+use serde::{Deserialize, Serialize};
+
+/// One ablation arm's outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AblationArm {
+    /// Arm name ("full", "no-ml", …).
+    pub name: String,
+    /// Coverage over the evaluated set.
+    pub coverage: f64,
+    /// Layer-1 accuracy over classified entries.
+    pub l1_accuracy: Ratio,
+    /// Layer-2 accuracy over classified entries with layer-2 gold labels.
+    pub l2_accuracy: Ratio,
+    /// Hosting layer-2 recall — the class ablations hurt most.
+    pub hosting_recall: Ratio,
+}
+
+/// The ablation arms: full system plus one-off variants.
+pub fn arms() -> Vec<(&'static str, PipelineOptions)> {
+    let full = PipelineOptions::default();
+    vec![
+        ("full", full),
+        (
+            "no-ml",
+            PipelineOptions {
+                use_ml: false,
+                ..full
+            },
+        ),
+        (
+            "no-consensus",
+            PipelineOptions {
+                use_consensus: false,
+                ..full
+            },
+        ),
+        (
+            "no-asn-shortcut",
+            PipelineOptions {
+                use_asn_shortcut: false,
+                ..full
+            },
+        ),
+        (
+            "no-entity-rejection",
+            PipelineOptions {
+                reject_entity_disagreement: false,
+                ..full
+            },
+        ),
+        (
+            "random-domain",
+            PipelineOptions {
+                domain_strategy: DomainStrategy::Random,
+                ..full
+            },
+        ),
+    ]
+}
+
+/// Evaluate one pipeline configuration over a gold set.
+pub fn evaluate_arm(
+    world: &World,
+    set: &GoldSet,
+    system: &AsdbSystem,
+    options: &PipelineOptions,
+    name: &str,
+) -> AblationArm {
+    let mut l1 = Ratio::default();
+    let mut l2 = Ratio::default();
+    let mut hosting = Ratio::default();
+    let mut classified = 0usize;
+    let mut n = 0usize;
+    for (entry, labels) in set.labeled() {
+        n += 1;
+        let rec = world.as_record(entry.asn).expect("record exists");
+        let c = system.classify_with(&rec.parsed, options);
+        if !c.is_classified() {
+            continue;
+        }
+        classified += 1;
+        l1.add(c.categories.overlaps_l1(labels));
+        if !labels.layer2s().is_empty() {
+            l2.add(c.categories.overlaps_l2(labels));
+        }
+        if labels.layer2s().contains(&known::hosting()) {
+            hosting.add(c.categories.layer2s().contains(&known::hosting()));
+        }
+    }
+    AblationArm {
+        name: name.to_owned(),
+        coverage: classified as f64 / n.max(1) as f64,
+        l1_accuracy: l1,
+        l2_accuracy: l2,
+        hosting_recall: hosting,
+    }
+}
+
+/// Run every arm against a shared, pre-built system — only the option
+/// struct changes between arms, so the expensive state (sources, trained
+/// classifiers) is reused.
+pub fn run_ablations(world: &World, set: &GoldSet, system: &AsdbSystem) -> Vec<AblationArm> {
+    arms()
+        .into_iter()
+        .map(|(name, options)| evaluate_arm(world, set, system, &options, name))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ExperimentContext;
+    use asdb_model::WorldSeed;
+    use std::sync::OnceLock;
+
+    fn ctx() -> &'static ExperimentContext {
+        static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+        CTX.get_or_init(|| ExperimentContext::standard(WorldSeed::new(424)))
+    }
+
+    fn run() -> &'static Vec<AblationArm> {
+        static ARMS: OnceLock<Vec<AblationArm>> = OnceLock::new();
+        ARMS.get_or_init(|| {
+            let c = ctx();
+            run_ablations(&c.world, &c.test, &c.system)
+        })
+    }
+
+    fn arm(name: &str) -> &'static AblationArm {
+        run().iter().find(|a| a.name == name).expect("arm exists")
+    }
+
+    #[test]
+    fn full_system_is_the_best_overall() {
+        let full = arm("full");
+        for a in run() {
+            assert!(
+                full.l1_accuracy.frac() >= a.l1_accuracy.frac() - 0.03,
+                "{} beats full at L1: {} vs {}",
+                a.name,
+                a.l1_accuracy.frac(),
+                full.l1_accuracy.frac()
+            );
+        }
+    }
+
+    #[test]
+    fn removing_ml_collapses_hosting_recall() {
+        let full = arm("full");
+        let no_ml = arm("no-ml");
+        assert!(
+            no_ml.hosting_recall.frac() < full.hosting_recall.frac(),
+            "no-ml hosting {} vs full {}",
+            no_ml.hosting_recall.frac(),
+            full.hosting_recall.frac()
+        );
+    }
+
+    #[test]
+    fn removing_consensus_hurts_l1_accuracy() {
+        let full = arm("full");
+        let no_consensus = arm("no-consensus");
+        assert!(
+            no_consensus.l1_accuracy.frac() <= full.l1_accuracy.frac() + 0.01,
+            "no-consensus {} vs full {}",
+            no_consensus.l1_accuracy.frac(),
+            full.l1_accuracy.frac()
+        );
+    }
+
+    #[test]
+    fn random_domain_hurts() {
+        let full = arm("full");
+        let random = arm("random-domain");
+        // Random domain selection degrades either accuracy or the ML path
+        // (hosting recall) — usually both.
+        let degraded = random.l1_accuracy.frac() < full.l1_accuracy.frac() - 0.005
+            || random.hosting_recall.frac() < full.hosting_recall.frac() - 0.005
+            || random.l2_accuracy.frac() < full.l2_accuracy.frac() - 0.005;
+        assert!(
+            degraded,
+            "random-domain did not degrade anything: L1 {} vs {}, hosting {} vs {}",
+            random.l1_accuracy.frac(),
+            full.l1_accuracy.frac(),
+            random.hosting_recall.frac(),
+            full.hosting_recall.frac()
+        );
+    }
+
+    #[test]
+    fn every_arm_still_covers_most_ases() {
+        for a in run() {
+            assert!(a.coverage > 0.7, "{} coverage = {}", a.name, a.coverage);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Background comparisons (§2): run the prior-work baselines over the same
+//! gold standard ASdb is scored on, reproducing the paper's framing that
+//! existing classifications are coarse, partially covering, or decayed.
+
+use crate::goldsets::GoldSet;
+use crate::source_eval::Ratio;
+use asdb_baselines::caida::{CaidaClass, CaidaClassifier};
+use asdb_baselines::baumann::BaumannClassifier;
+use asdb_baselines::topo::{TopoClass, TopoClassifier};
+use asdb_core::AsdbSystem;
+use asdb_model::WorldSeed;
+use asdb_worldgen::topology::AsGraph;
+use asdb_worldgen::World;
+use serde::{Deserialize, Serialize};
+
+/// One baseline's scorecard.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BaselineRow {
+    /// System name.
+    pub name: String,
+    /// Label-space size (how many categories it can express).
+    pub n_categories: usize,
+    /// Coverage over gold ASes.
+    pub coverage: Ratio,
+    /// Accuracy over covered ASes, in that system's own label space.
+    pub accuracy: Ratio,
+}
+
+/// Run all §2 baselines plus ASdb over a gold set.
+pub fn compare(
+    world: &World,
+    set: &GoldSet,
+    system: &AsdbSystem,
+    seed: WorldSeed,
+) -> Vec<BaselineRow> {
+    let graph = AsGraph::generate(world, seed.derive("baseline-topology"));
+    let caida = CaidaClassifier;
+    let baumann = BaumannClassifier;
+    let topo = TopoClassifier::default();
+
+    let mut caida_row = BaselineRow {
+        name: "CAIDA (Dimitropoulos et al.)".into(),
+        n_categories: 3,
+        coverage: Ratio::default(),
+        accuracy: Ratio::default(),
+    };
+    let mut baumann_row = BaselineRow {
+        name: "Baumann & Fabian".into(),
+        n_categories: 10,
+        coverage: Ratio::default(),
+        accuracy: Ratio::default(),
+    };
+    let mut topo_row = BaselineRow {
+        name: "Topological (Dhamdhere & Dovrolis)".into(),
+        n_categories: 5,
+        coverage: Ratio::default(),
+        accuracy: Ratio::default(),
+    };
+    let mut asdb_row = BaselineRow {
+        name: "ASdb".into(),
+        n_categories: 95,
+        coverage: Ratio::default(),
+        accuracy: Ratio::default(),
+    };
+
+    for (entry, labels) in set.labeled() {
+        let rec = world.as_record(entry.asn).expect("record exists");
+
+        // CAIDA three-way.
+        match caida.classify(&rec.parsed) {
+            Some(pred) => {
+                caida_row.coverage.add(true);
+                caida_row.accuracy.add(pred == CaidaClass::project(labels));
+            }
+            None => caida_row.coverage.add(false),
+        }
+        // Baumann ten-way.
+        match baumann.classify(&rec.parsed) {
+            Some(pred) => {
+                baumann_row.coverage.add(true);
+                baumann_row.accuracy.add(pred.matches(labels));
+            }
+            None => baumann_row.coverage.add(false),
+        }
+        // Topological five-way (always emits a class).
+        topo_row.coverage.add(true);
+        let pred = topo.classify(&graph, entry.asn);
+        topo_row.accuracy.add(pred.matches(TopoClass::project(labels)));
+
+        // ASdb, scored at layer 1 — the strictest common footing available
+        // (the baselines cannot express layer 2 at all).
+        let c = system.classify(&rec.parsed);
+        if c.is_classified() {
+            asdb_row.coverage.add(true);
+            asdb_row.accuracy.add(c.categories.overlaps_l1(labels));
+        } else {
+            asdb_row.coverage.add(false);
+        }
+    }
+    vec![caida_row, baumann_row, topo_row, asdb_row]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ExperimentContext;
+    use std::sync::OnceLock;
+
+    fn ctx() -> &'static ExperimentContext {
+        static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+        CTX.get_or_init(|| ExperimentContext::standard(WorldSeed::new(424)))
+    }
+
+    fn rows() -> &'static Vec<BaselineRow> {
+        static ROWS: OnceLock<Vec<BaselineRow>> = OnceLock::new();
+        ROWS.get_or_init(|| {
+            let c = ctx();
+            compare(&c.world, &c.gold, &c.system, c.seed)
+        })
+    }
+
+    #[test]
+    fn asdb_has_the_richest_label_space_and_best_coverage() {
+        let asdb = rows().iter().find(|r| r.name == "ASdb").unwrap();
+        for r in rows() {
+            assert!(asdb.n_categories >= r.n_categories);
+            assert!(
+                asdb.coverage.frac() >= r.coverage.frac() - 0.05,
+                "{} covers more than ASdb: {} vs {}",
+                r.name,
+                r.coverage.frac(),
+                asdb.coverage.frac()
+            );
+        }
+        // "ASdb offers at least 89 additional categories compared to the
+        // most popular AS classification databases."
+        assert_eq!(asdb.n_categories, 95);
+    }
+
+    #[test]
+    fn keyword_baselines_have_partial_coverage() {
+        let caida = rows().iter().find(|r| r.name.starts_with("CAIDA")).unwrap();
+        let baumann = rows().iter().find(|r| r.name.starts_with("Baumann")).unwrap();
+        assert!(caida.coverage.frac() < 0.98, "caida = {}", caida.coverage.frac());
+        assert!(
+            baumann.coverage.frac() < caida.coverage.frac() + 0.15,
+            "baumann = {}",
+            baumann.coverage.frac()
+        );
+        assert!(baumann.coverage.frac() > 0.3);
+    }
+
+    #[test]
+    fn asdb_effective_yield_beats_every_baseline() {
+        // A keyword baseline that abstains on everything hard can show
+        // perfect conditional accuracy, so the fair scalar is coverage ×
+        // accuracy — the fraction of *all* ASes that end up correctly
+        // labeled. (And the baselines are scored in their own far coarser
+        // label spaces; ASdb is held to layer-1 NAICSlite.)
+        let yield_of = |r: &BaselineRow| r.coverage.frac() * r.accuracy.frac();
+        let asdb = rows().iter().find(|r| r.name == "ASdb").unwrap();
+        for r in rows() {
+            if r.name == "ASdb" {
+                continue;
+            }
+            assert!(
+                yield_of(asdb) > yield_of(r),
+                "{} (yield {:.2}) beats ASdb ({:.2})",
+                r.name,
+                yield_of(r),
+                yield_of(asdb)
+            );
+        }
+    }
+}

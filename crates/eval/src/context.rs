@@ -1,0 +1,68 @@
+//! Shared experiment setup.
+
+use crate::goldsets::GoldSet;
+use asdb_core::AsdbSystem;
+use asdb_model::WorldSeed;
+use asdb_worldgen::{World, WorldConfig};
+
+/// Everything a paper-reproduction run needs, built once: the world, the
+/// ASdb system over it (sources + trained classifiers), and the labeled
+/// datasets of Table 2.
+pub struct ExperimentContext {
+    /// The synthetic universe.
+    pub world: World,
+    /// The assembled ASdb system.
+    pub system: AsdbSystem,
+    /// Table 2 row 1: the 150-AS Gold Standard.
+    pub gold: GoldSet,
+    /// Table 2 row 2: the 320-AS Uniform Gold Standard.
+    pub uniform: GoldSet,
+    /// Table 2 row 4: the fresh 150-AS test set.
+    pub test: GoldSet,
+    /// The seed everything derives from.
+    pub seed: WorldSeed,
+}
+
+impl ExperimentContext {
+    /// Build the canonical context at a given scale.
+    pub fn build(config: WorldConfig) -> ExperimentContext {
+        let seed = config.seed;
+        let world = World::generate(config);
+        let system = AsdbSystem::build(&world, seed.derive("system"));
+        let gold = GoldSet::gold_standard(&world, seed.derive("gold"));
+        let uniform = GoldSet::uniform_gold_standard(&world, seed.derive("gold"));
+        let test = GoldSet::test_set(&world, seed.derive("gold"));
+        ExperimentContext {
+            world,
+            system,
+            gold,
+            uniform,
+            test,
+            seed,
+        }
+    }
+
+    /// The standard-scale context used by the experiment binaries/benches.
+    pub fn standard(seed: WorldSeed) -> ExperimentContext {
+        ExperimentContext::build(WorldConfig::standard(seed))
+    }
+
+    /// A small, fast context for unit tests.
+    pub fn small(seed: WorldSeed) -> ExperimentContext {
+        ExperimentContext::build(WorldConfig::small(seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_assembles() {
+        let ctx = ExperimentContext::small(WorldSeed::new(7));
+        assert_eq!(ctx.gold.entries.len(), 150);
+        assert_eq!(ctx.test.entries.len(), 150);
+        assert!(!ctx.uniform.entries.is_empty());
+        assert!(!ctx.world.ases.is_empty());
+    }
+}

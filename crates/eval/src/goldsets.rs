@@ -1,0 +1,195 @@
+//! The four labeled datasets of Table 2.
+
+use crate::labeler::LabelerModel;
+use asdb_model::{Asn, WorldSeed};
+use asdb_taxonomy::{CategorySet, Layer1};
+use asdb_worldgen::World;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One labeled AS.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GoldEntry {
+    /// The AS.
+    pub asn: Asn,
+    /// The researchers' resolved NAICSlite labels; `None` when the pair
+    /// could not classify the AS at all.
+    pub labels: Option<CategorySet>,
+}
+
+impl GoldEntry {
+    /// Whether the entry carries a layer-2 refinement.
+    pub fn has_layer2(&self) -> bool {
+        self.labels
+            .as_ref()
+            .map(|l| !l.layer2s().is_empty())
+            .unwrap_or(false)
+    }
+}
+
+/// A labeled dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GoldSet {
+    /// Dataset name (Table 2's rows).
+    pub name: &'static str,
+    /// The labeled entries.
+    pub entries: Vec<GoldEntry>,
+}
+
+impl GoldSet {
+    /// Entries the researchers could label.
+    pub fn labeled(&self) -> impl Iterator<Item = (&GoldEntry, &CategorySet)> {
+        self.entries
+            .iter()
+            .filter_map(|e| e.labels.as_ref().map(|l| (e, l)))
+    }
+
+    /// Number of labelable entries (e.g. 148 of the 150 Gold Standard).
+    pub fn labeled_count(&self) -> usize {
+        self.labeled().count()
+    }
+
+    /// Number of entries with layer-2 gold labels (Table 8's 142/141/189).
+    pub fn layer2_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.has_layer2()).count()
+    }
+
+    /// Build the "Gold Standard": 150 random ASes, expert-labeled
+    /// (Table 2 row 1).
+    pub fn gold_standard(world: &World, seed: WorldSeed) -> GoldSet {
+        Self::random_sample(world, seed, "gold-standard", "Gold Standard", 150)
+    }
+
+    /// Build the "new test set": 150 *different* random ASes labeled the
+    /// same way — "a fresh, random sample of ASes that provides a fairer
+    /// evaluation" (Table 2 row 4).
+    pub fn test_set(world: &World, seed: WorldSeed) -> GoldSet {
+        Self::random_sample(world, seed, "test-set", "Test Set", 150)
+    }
+
+    fn random_sample(
+        world: &World,
+        seed: WorldSeed,
+        sample_label: &str,
+        name: &'static str,
+        n: usize,
+    ) -> GoldSet {
+        let model = LabelerModel::default();
+        let entries = world
+            .sample_asns(n, sample_label)
+            .into_iter()
+            .map(|asn| {
+                let org = world.org_of(asn).expect("sampled AS has an owner");
+                GoldEntry {
+                    asn,
+                    labels: model.resolved_label(org, seed.derive(sample_label)),
+                }
+            })
+            .collect();
+        GoldSet { name, entries }
+    }
+
+    /// Build the "Uniform Gold Standard": 320 ASes "uniformly sub-sampled
+    /// across all 16 NAICSlite Layer 1 categories" (Table 2 row 2) — 20
+    /// per substantive layer-1 category.
+    pub fn uniform_gold_standard(world: &World, seed: WorldSeed) -> GoldSet {
+        let model = LabelerModel::default();
+        let mut rng = StdRng::seed_from_u64(seed.derive("uniform-gold").value());
+        let mut entries = Vec::with_capacity(320);
+        for l1 in Layer1::SUBSTANTIVE {
+            let mut pool = world.asns_in_layer1(l1);
+            let take = 20.min(pool.len());
+            for _ in 0..take {
+                let i = rng.random_range(0..pool.len());
+                let asn = pool.swap_remove(i);
+                let org = world.org_of(asn).expect("owner exists");
+                entries.push(GoldEntry {
+                    asn,
+                    labels: model.resolved_label(org, seed.derive("uniform-gold")),
+                });
+            }
+        }
+        GoldSet {
+            name: "Uniform Gold Standard",
+            entries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asdb_worldgen::WorldConfig;
+
+    fn world() -> World {
+        World::generate(WorldConfig::standard(WorldSeed::new(101)))
+    }
+
+    #[test]
+    fn gold_standard_has_150_mostly_labeled() {
+        let w = world();
+        let gs = GoldSet::gold_standard(&w, WorldSeed::new(1));
+        assert_eq!(gs.entries.len(), 150);
+        // Paper: 148/150 labelable, 142 with layer-2.
+        assert!(gs.labeled_count() >= 144, "labeled = {}", gs.labeled_count());
+        assert!(gs.layer2_count() >= 136, "layer2 = {}", gs.layer2_count());
+        assert!(gs.layer2_count() <= gs.labeled_count());
+    }
+
+    #[test]
+    fn test_set_is_disjoint_sample() {
+        let w = world();
+        let gs = GoldSet::gold_standard(&w, WorldSeed::new(1));
+        let ts = GoldSet::test_set(&w, WorldSeed::new(1));
+        let gs_asns: std::collections::HashSet<_> =
+            gs.entries.iter().map(|e| e.asn).collect();
+        let overlap = ts.entries.iter().filter(|e| gs_asns.contains(&e.asn)).count();
+        // Random samples may collide occasionally, but must be essentially
+        // disjoint in a 4000-org world.
+        assert!(overlap < 10, "overlap = {overlap}");
+    }
+
+    #[test]
+    fn uniform_set_spans_all_16_categories() {
+        let w = world();
+        let ugs = GoldSet::uniform_gold_standard(&w, WorldSeed::new(1));
+        // The rarest synthetic categories can fall just short of 20 ASes;
+        // the builder then takes everything available.
+        assert!(ugs.entries.len() >= 310, "entries = {}", ugs.entries.len());
+        let mut per_l1: std::collections::HashMap<Layer1, usize> = Default::default();
+        for e in &ugs.entries {
+            let org = w.org_of(e.asn).unwrap();
+            *per_l1.entry(org.category.layer1).or_insert(0) += 1;
+        }
+        assert_eq!(per_l1.len(), 16, "all 16 substantive categories present");
+        for (l1, n) in per_l1 {
+            assert!((10..=20).contains(&n), "{l1:?} has {n}");
+        }
+    }
+
+    #[test]
+    fn gold_labels_match_truth_closely() {
+        let w = world();
+        let gs = GoldSet::gold_standard(&w, WorldSeed::new(1));
+        let (mut ok, mut n) = (0usize, 0usize);
+        for (entry, labels) in gs.labeled() {
+            let truth = w.org_of(entry.asn).unwrap().truth();
+            ok += usize::from(labels.overlaps_l1(&truth));
+            n += 1;
+        }
+        assert!(ok as f64 / n as f64 > 0.97);
+    }
+
+    #[test]
+    fn sets_are_deterministic() {
+        let w = world();
+        let a = GoldSet::gold_standard(&w, WorldSeed::new(1));
+        let b = GoldSet::gold_standard(&w, WorldSeed::new(1));
+        assert_eq!(a.entries.len(), b.entries.len());
+        for (x, y) in a.entries.iter().zip(&b.entries) {
+            assert_eq!(x.asn, y.asn);
+            assert_eq!(x.labels, y.labels);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # asdb-eval
+//!
+//! Gold-standard construction and the experiment harness: one runner per
+//! table and figure in the paper's evaluation, over the synthetic world.
+//!
+//! | module | reproduces |
+//! |---|---|
+//! | [`labeler`] | the expert-labeling process (§3.2) and Figure 1 |
+//! | [`goldsets`] | Table 2's four labeled datasets |
+//! | [`source_eval`] | Tables 3, 4, and 11 |
+//! | [`entity_eval`] | Table 5 and Figure 2 |
+//! | [`ml_eval`] | Table 6 |
+//! | [`system_eval`] | Tables 7 and 8 |
+//! | [`category_eval`] | Table 10 |
+//! | [`crowd_eval`] | Figures 5a/5b/6/7 and Table 9 |
+//! | [`ablations`] | design-choice ablations (DESIGN.md §3 extensions) |
+//! | [`background`] | the §2 prior-work baseline comparison |
+//! | [`experiments`] | the per-experiment entry points and text reports |
+//! | [`report`] | plain-text table rendering |
+//!
+//! All runners take an [`ExperimentContext`] — a world, the ASdb system
+//! built over it, and the labeled datasets — so a whole paper-reproduction
+//! run shares one (expensive) setup.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod background;
+pub mod category_eval;
+pub mod context;
+pub mod crowd_eval;
+pub mod entity_eval;
+pub mod experiments;
+pub mod goldsets;
+pub mod labeler;
+pub mod ml_eval;
+pub mod report;
+pub mod source_eval;
+pub mod system_eval;
+
+pub use context::ExperimentContext;
+pub use goldsets::{GoldEntry, GoldSet};

@@ -1,0 +1,129 @@
+//! Plain-text table rendering for experiment reports.
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// New table with a title.
+    pub fn new(title: &str) -> TextTable {
+        TextTable {
+            title: title.to_owned(),
+            header: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Set the column headers.
+    pub fn header<S: Into<String>, I: IntoIterator<Item = S>>(mut self, cols: I) -> TextTable {
+        self.header = cols.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Append a row.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cols: I) {
+        self.rows.push(cols.into_iter().map(Into::into).collect());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.header.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; ncols];
+        let measure = |widths: &mut Vec<usize>, row: &[String]| {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        };
+        measure(&mut widths, &self.header);
+        for r in &self.rows {
+            measure(&mut widths, r);
+        }
+        let fmt_row = |row: &[String]| {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!("{cell:<width$}  ", width = w));
+            }
+            line.trim_end().to_owned()
+        };
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        if !self.header.is_empty() {
+            out.push_str(&fmt_row(&self.header));
+            out.push('\n');
+            out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+            out.push('\n');
+        }
+        for r in &self.rows {
+            out.push_str(&fmt_row(r));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a fraction as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.0}%", x * 100.0)
+}
+
+/// Format a fraction with one decimal.
+pub fn pct1(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new("Demo").header(["Source", "Coverage"]);
+        t.row(["D&B", "82%"]);
+        t.row(["PeeringDB", "15%"]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("Source"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Layout: title, header, separator, then data rows.
+        // Columns align: "82%" and "15%" start at the same offset.
+        let off_a = lines[3].find("82%").unwrap();
+        let off_b = lines[4].find("15%").unwrap();
+        assert_eq!(off_a, off_b);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.934), "93%");
+        assert_eq!(pct1(0.934), "93.4%");
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = TextTable::new("Empty");
+        assert!(t.is_empty());
+        assert!(t.render().contains("Empty"));
+    }
+}

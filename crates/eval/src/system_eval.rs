@@ -1,0 +1,297 @@
+//! End-to-end system evaluation: Tables 7 and 8.
+
+use crate::goldsets::GoldSet;
+use crate::source_eval::Ratio;
+use asdb_core::{AsdbSystem, Classification, Stage};
+use asdb_sources::{DataSource, Query};
+use asdb_taxonomy::schemes::IpinfoType;
+use asdb_taxonomy::{CategorySet, Layer1};
+use asdb_worldgen::World;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-stage coverage/accuracy rows plus the overall lines of Table 8, for
+/// one dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StageTable {
+    /// Dataset name.
+    pub dataset: String,
+    /// Entries evaluated (the labelable subset).
+    pub n: usize,
+    /// Per-stage: (stage, coverage over n, L1 accuracy over classified).
+    pub stages: Vec<(String, f64, f64)>,
+    /// Overall layer-1 (coverage, accuracy).
+    pub layer1: (f64, f64),
+    /// Overall layer-2 (coverage, accuracy).
+    pub layer2: (f64, f64),
+    /// Layer-2 tech (coverage, accuracy).
+    pub layer2_tech: (f64, f64),
+    /// Layer-2 non-tech (coverage, accuracy).
+    pub layer2_nontech: (f64, f64),
+}
+
+/// Classify every labelable entry of a gold set (no cache — the evaluation
+/// protocol) and keep the classifications around for further analysis.
+pub fn classify_set(
+    world: &World,
+    set: &GoldSet,
+    system: &AsdbSystem,
+) -> Vec<(asdb_model::Asn, CategorySet, Classification)> {
+    set.labeled()
+        .map(|(entry, labels)| {
+            let rec = world.as_record(entry.asn).expect("record exists");
+            let c = system.classify(&rec.parsed);
+            (entry.asn, labels.clone(), c)
+        })
+        .collect()
+}
+
+/// Build the Table 8 panel for one dataset.
+pub fn table8(world: &World, set: &GoldSet, system: &AsdbSystem) -> StageTable {
+    let results = classify_set(world, set, system);
+    let n = results.len();
+
+    let mut per_stage: HashMap<Stage, (Ratio, usize)> = HashMap::new();
+    let mut l1 = Ratio::default();
+    let mut l1_covered = 0usize;
+    let mut l2 = Ratio::default();
+    let mut l2_tech = Ratio::default();
+    let mut l2_nontech = Ratio::default();
+    let mut l2_covered = 0usize;
+    let mut l2_eligible = 0usize;
+
+    for (_asn, gold, c) in &results {
+        let e = per_stage.entry(c.stage).or_insert((Ratio::default(), 0));
+        e.1 += 1;
+        if c.is_classified() {
+            let ok = c.categories.overlaps_l1(gold);
+            e.0.add(ok);
+            l1.add(ok);
+            l1_covered += 1;
+        }
+        // Layer-2 metrics only over entries with layer-2 gold labels
+        // (Table 8's caption).
+        if !gold.layer2s().is_empty() {
+            l2_eligible += 1;
+            let has_l2 = !c.categories.layer2s().is_empty();
+            if has_l2 {
+                l2_covered += 1;
+                let ok = c.categories.overlaps_l2(gold);
+                l2.add(ok);
+                if gold.layer1s().contains(&Layer1::ComputerAndIT) {
+                    l2_tech.add(ok);
+                } else {
+                    l2_nontech.add(ok);
+                }
+            }
+        }
+    }
+
+    let mut stages: Vec<(String, f64, f64)> = per_stage
+        .iter()
+        .map(|(stage, (acc, count))| {
+            (
+                stage.label().to_owned(),
+                *count as f64 / n.max(1) as f64,
+                acc.frac(),
+            )
+        })
+        .collect();
+    stages.sort_by(|a, b| a.0.cmp(&b.0));
+
+    StageTable {
+        dataset: set.name.to_owned(),
+        n,
+        stages,
+        layer1: (l1_covered as f64 / n.max(1) as f64, l1.frac()),
+        layer2: (
+            l2_covered as f64 / l2_eligible.max(1) as f64,
+            l2.frac(),
+        ),
+        layer2_tech: (0.0, l2_tech.frac()),
+        layer2_nontech: (0.0, l2_nontech.frac()),
+    }
+}
+
+/// A Table 7 panel: F1 per comparison class for ASdb, IPinfo, PeeringDB.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct F1Row {
+    /// The four-way comparison class.
+    pub class: IpinfoType,
+    /// Gold-positive count (the table's N column).
+    pub n: usize,
+    /// ASdb's F1.
+    pub asdb: f64,
+    /// IPinfo's F1.
+    pub ipinfo: f64,
+    /// PeeringDB's F1.
+    pub peeringdb: f64,
+}
+
+fn f1(pred: &[Option<IpinfoType>], truth: &[IpinfoType], class: IpinfoType) -> f64 {
+    let (mut tp, mut fp, mut fn_) = (0usize, 0usize, 0usize);
+    for (p, t) in pred.iter().zip(truth) {
+        let is_pos = *t == class;
+        match p {
+            Some(p) if *p == class => {
+                if is_pos {
+                    tp += 1;
+                } else {
+                    fp += 1;
+                }
+            }
+            _ => {
+                if is_pos {
+                    fn_ += 1;
+                }
+            }
+        }
+    }
+    if 2 * tp + fp + fn_ == 0 {
+        0.0
+    } else {
+        2.0 * tp as f64 / (2 * tp + fp + fn_) as f64
+    }
+}
+
+/// Table 7: project everything onto IPinfo's four-way scheme (§5.2's
+/// mapping rules) and compute one-vs-rest F1 per class for the three
+/// systems.
+pub fn table7(world: &World, set: &GoldSet, system: &AsdbSystem) -> Vec<F1Row> {
+    let results = classify_set(world, set, system);
+    let mut truth: Vec<IpinfoType> = Vec::new();
+    let mut asdb_pred: Vec<Option<IpinfoType>> = Vec::new();
+    let mut ipinfo_pred: Vec<Option<IpinfoType>> = Vec::new();
+    let mut pdb_pred: Vec<Option<IpinfoType>> = Vec::new();
+
+    for (asn, gold, c) in &results {
+        let Some(t) = IpinfoType::project(gold) else { continue };
+        truth.push(t);
+        asdb_pred.push(IpinfoType::project(&c.categories));
+        ipinfo_pred.push(
+            system
+                .sources
+                .ipinfo
+                .search(&Query::by_asn(*asn))
+                .and_then(|m| {
+                    system
+                        .sources
+                        .ipinfo
+                        .class_of(*asn)
+                        .or_else(|| IpinfoType::project(&m.categories))
+                }),
+        );
+        pdb_pred.push(
+            system
+                .sources
+                .peeringdb
+                .network_type(*asn)
+                .map(|t| t.comparison_class()),
+        );
+    }
+
+    IpinfoType::ALL
+        .iter()
+        .map(|class| F1Row {
+            class: *class,
+            n: truth.iter().filter(|t| *t == class).count(),
+            asdb: f1(&asdb_pred, &truth, *class),
+            ipinfo: f1(&ipinfo_pred, &truth, *class),
+            peeringdb: f1(&pdb_pred, &truth, *class),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ExperimentContext;
+    use asdb_model::WorldSeed;
+    use std::sync::OnceLock;
+
+    fn ctx() -> &'static ExperimentContext {
+        static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+        CTX.get_or_init(|| ExperimentContext::standard(WorldSeed::new(424)))
+    }
+
+    #[test]
+    fn table8_coverage_and_accuracy(/* the headline claims */) {
+        let c = ctx();
+        let t = table8(&c.world, &c.test, &c.system);
+        // "ASdb provides a layer 1 and layer 2 classification for at least
+        // 93% of all ASes" and "93% accuracy" on the test set's layer 1.
+        assert!(t.layer1.0 > 0.88, "L1 coverage = {}", t.layer1.0);
+        assert!(t.layer1.1 > 0.85, "L1 accuracy = {}", t.layer1.1);
+        assert!(t.layer2.0 > 0.80, "L2 coverage = {}", t.layer2.0);
+        // Layer-2 accuracy is meaningfully lower than layer-1 (75% vs 93%).
+        assert!(t.layer2.1 < t.layer1.1, "L2 {} vs L1 {}", t.layer2.1, t.layer1.1);
+        assert!(t.layer2.1 > 0.55, "L2 accuracy = {}", t.layer2.1);
+    }
+
+    #[test]
+    fn table8_stage_structure() {
+        let c = ctx();
+        let t = table8(&c.world, &c.gold, &c.system);
+        // Coverages sum to ~1 across stages.
+        let total: f64 = t.stages.iter().map(|(_, cov, _)| cov).sum();
+        assert!((total - 1.0).abs() < 1e-9, "stage coverages sum to {total}");
+        // The agreement stage exists and is highly accurate.
+        let agree = t
+            .stages
+            .iter()
+            .find(|(s, _, _)| s.contains(">=2 Agree"))
+            .expect("agreement stage present");
+        assert!(agree.2 > 0.9, "agree accuracy = {}", agree.2);
+    }
+
+    #[test]
+    fn table7_asdb_beats_both_baselines() {
+        let c = ctx();
+        for set in [&c.gold, &c.test] {
+            let rows = table7(&c.world, set, &c.system);
+            for r in &rows {
+                if r.n < 5 {
+                    continue; // tiny classes are noise
+                }
+                assert!(
+                    r.asdb >= r.ipinfo - 0.02,
+                    "{}: ASdb {} vs IPinfo {} (n={})",
+                    r.class,
+                    r.asdb,
+                    r.ipinfo,
+                    r.n
+                );
+                assert!(
+                    r.asdb >= r.peeringdb - 0.02,
+                    "{}: ASdb {} vs PeeringDB {} (n={})",
+                    r.class,
+                    r.asdb,
+                    r.peeringdb,
+                    r.n
+                );
+            }
+            // ISP is a large class and ASdb should be strong there.
+            let isp = rows.iter().find(|r| r.class == IpinfoType::Isp).unwrap();
+            assert!(isp.asdb > 0.75, "ASdb ISP F1 = {}", isp.asdb);
+        }
+    }
+
+    #[test]
+    fn hosting_remains_the_hardest_class(/* §5.2's 0.65 test-set hosting F1 */) {
+        let c = ctx();
+        let rows = table7(&c.world, &c.test, &c.system);
+        let hosting = rows
+            .iter()
+            .find(|r| r.class == IpinfoType::Hosting)
+            .unwrap();
+        let isp = rows.iter().find(|r| r.class == IpinfoType::Isp).unwrap();
+        if hosting.n >= 5 {
+            assert!(
+                hosting.asdb <= isp.asdb + 0.05,
+                "hosting {} should not beat ISP {}",
+                hosting.asdb,
+                isp.asdb
+            );
+        }
+    }
+}

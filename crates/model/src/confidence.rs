@@ -1,0 +1,98 @@
+//! Match confidence codes.
+
+use crate::error::ModelError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A Dun & Bradstreet style match confidence code, in `1..=10`.
+///
+/// The paper's Figure 2 shows that real D&B matches with a confidence code
+/// below 6 are correct less than half the time, while codes ≥ 6 are at least
+/// 80% accurate; ASdb's Table 5 rows are parameterized by a threshold over
+/// this code. The type is a validated newtype so the thresholding logic can
+/// never see an out-of-range value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(try_from = "u8", into = "u8")]
+pub struct ConfidenceCode(u8);
+
+impl ConfidenceCode {
+    /// The minimum code.
+    pub const MIN: ConfidenceCode = ConfidenceCode(1);
+    /// The maximum code.
+    pub const MAX: ConfidenceCode = ConfidenceCode(10);
+    /// The threshold the paper finds separates "usually wrong" from
+    /// "usually right" (Figure 2 / Table 5 "Conf. ≥ 6").
+    pub const RELIABLE_THRESHOLD: ConfidenceCode = ConfidenceCode(6);
+
+    /// Validate a raw code.
+    pub fn new(value: u8) -> Result<Self, ModelError> {
+        if (1..=10).contains(&value) {
+            Ok(ConfidenceCode(value))
+        } else {
+            Err(ModelError::InvalidConfidence {
+                value: i64::from(value),
+            })
+        }
+    }
+
+    /// The raw value.
+    pub const fn value(self) -> u8 {
+        self.0
+    }
+
+    /// Whether the code meets the paper's reliability threshold (≥ 6).
+    pub fn is_reliable(self) -> bool {
+        self >= Self::RELIABLE_THRESHOLD
+    }
+}
+
+impl fmt::Display for ConfidenceCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl TryFrom<u8> for ConfidenceCode {
+    type Error = ModelError;
+    fn try_from(value: u8) -> Result<Self, Self::Error> {
+        ConfidenceCode::new(value)
+    }
+}
+
+impl From<ConfidenceCode> for u8 {
+    fn from(value: ConfidenceCode) -> Self {
+        value.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_range() {
+        assert!(ConfidenceCode::new(0).is_err());
+        assert!(ConfidenceCode::new(11).is_err());
+        for v in 1..=10 {
+            assert_eq!(ConfidenceCode::new(v).unwrap().value(), v);
+        }
+    }
+
+    #[test]
+    fn reliability_threshold() {
+        assert!(!ConfidenceCode::new(5).unwrap().is_reliable());
+        assert!(ConfidenceCode::new(6).unwrap().is_reliable());
+        assert!(ConfidenceCode::MAX.is_reliable());
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(ConfidenceCode::MIN < ConfidenceCode::MAX);
+    }
+
+    #[test]
+    fn serde_rejects_out_of_range() {
+        assert!(serde_json::from_str::<ConfidenceCode>("0").is_err());
+        assert!(serde_json::from_str::<ConfidenceCode>("7").is_ok());
+    }
+}

@@ -1,0 +1,182 @@
+//! ISO-3166-style country codes and world regions.
+
+use crate::error::{clip, ModelError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A two-letter, upper-case country code (e.g. `US`, `DE`, `BR`).
+///
+/// Stored as two bytes, so `CountryCode` is `Copy` and hashable for free.
+/// The type does not enforce the ISO-3166 assignment table — WHOIS data
+/// contains user-entered codes — only the syntactic shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(try_from = "String", into = "String")]
+pub struct CountryCode([u8; 2]);
+
+impl CountryCode {
+    /// Parse a two-ASCII-letter code, normalizing to upper case.
+    pub fn new(input: &str) -> Result<Self, ModelError> {
+        let t = input.trim();
+        let bytes = t.as_bytes();
+        if bytes.len() != 2 || !bytes.iter().all(u8::is_ascii_alphabetic) {
+            return Err(ModelError::InvalidCountry { input: clip(input) });
+        }
+        Ok(CountryCode([
+            bytes[0].to_ascii_uppercase(),
+            bytes[1].to_ascii_uppercase(),
+        ]))
+    }
+
+    /// The code as a string slice.
+    pub fn as_str(&self) -> &str {
+        std::str::from_utf8(&self.0).expect("two ASCII letters")
+    }
+
+    /// The RIR service [`Region`] this country falls in (approximate
+    /// continental mapping used by the universe generator).
+    pub fn region(&self) -> Region {
+        Region::of(self.as_str())
+    }
+}
+
+impl fmt::Display for CountryCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for CountryCode {
+    type Err = ModelError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        CountryCode::new(s)
+    }
+}
+
+impl TryFrom<String> for CountryCode {
+    type Error = ModelError;
+    fn try_from(value: String) -> Result<Self, Self::Error> {
+        CountryCode::new(&value)
+    }
+}
+
+impl From<CountryCode> for String {
+    fn from(value: CountryCode) -> Self {
+        value.as_str().to_owned()
+    }
+}
+
+/// The five RIR service regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Region {
+    /// North America + parts of the Caribbean (ARIN).
+    NorthAmerica,
+    /// Europe, Middle East, Central Asia (RIPE NCC).
+    Europe,
+    /// Asia-Pacific (APNIC).
+    AsiaPacific,
+    /// Africa (AFRINIC).
+    Africa,
+    /// Latin America and the Caribbean (LACNIC).
+    LatinAmerica,
+}
+
+impl Region {
+    /// All regions, in a fixed order.
+    pub const ALL: [Region; 5] = [
+        Region::NorthAmerica,
+        Region::Europe,
+        Region::AsiaPacific,
+        Region::Africa,
+        Region::LatinAmerica,
+    ];
+
+    /// Map a country code string to its region. Unknown codes map to
+    /// `Europe`, the region with the most RIPE-style long-tail registrations.
+    pub fn of(code: &str) -> Region {
+        match code {
+            "US" | "CA" | "PR" | "VI" | "BM" | "BS" | "JM" | "BB" => Region::NorthAmerica,
+            "MX" | "BR" | "AR" | "CL" | "CO" | "PE" | "VE" | "EC" | "BO" | "PY" | "UY" | "PA"
+            | "CR" | "GT" | "HN" | "NI" | "SV" | "DO" | "CU" | "HT" | "TT" => Region::LatinAmerica,
+            "CN" | "JP" | "KR" | "IN" | "ID" | "TH" | "VN" | "PH" | "MY" | "SG" | "AU" | "NZ"
+            | "TW" | "HK" | "BD" | "PK" | "LK" | "NP" | "KH" | "MM" | "FJ" | "PG" => {
+                Region::AsiaPacific
+            }
+            "ZA" | "NG" | "EG" | "KE" | "GH" | "TZ" | "UG" | "DZ" | "MA" | "TN" | "ET" | "CM"
+            | "CI" | "SN" | "ZM" | "ZW" | "MU" | "RW" | "AO" | "MZ" => Region::Africa,
+            _ => Region::Europe,
+        }
+    }
+
+    /// Human-readable region name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Region::NorthAmerica => "North America",
+            Region::Europe => "Europe/Middle East/Central Asia",
+            Region::AsiaPacific => "Asia-Pacific",
+            Region::Africa => "Africa",
+            Region::LatinAmerica => "Latin America",
+        }
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parses_and_normalizes() {
+        let c = CountryCode::new(" us ").unwrap();
+        assert_eq!(c.as_str(), "US");
+        assert_eq!(c.to_string(), "US");
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        for bad in ["", "U", "USA", "U1", "??"] {
+            assert!(CountryCode::new(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn regions_are_plausible() {
+        assert_eq!(CountryCode::new("US").unwrap().region(), Region::NorthAmerica);
+        assert_eq!(CountryCode::new("DE").unwrap().region(), Region::Europe);
+        assert_eq!(CountryCode::new("JP").unwrap().region(), Region::AsiaPacific);
+        assert_eq!(CountryCode::new("NG").unwrap().region(), Region::Africa);
+        assert_eq!(CountryCode::new("BR").unwrap().region(), Region::LatinAmerica);
+        // Unknown codes fall back to the RIPE region.
+        assert_eq!(Region::of("XX"), Region::Europe);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = CountryCode::new("br").unwrap();
+        let json = serde_json::to_string(&c).unwrap();
+        assert_eq!(json, "\"BR\"");
+        let back: CountryCode = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+        assert!(serde_json::from_str::<CountryCode>("\"B1\"").is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn parse_never_panics(s in ".{0,10}") {
+            let _ = CountryCode::new(&s);
+        }
+
+        #[test]
+        fn valid_codes_roundtrip(a in "[a-zA-Z]", b in "[a-zA-Z]") {
+            let s = format!("{a}{b}");
+            let c = CountryCode::new(&s).unwrap();
+            prop_assert_eq!(c.as_str(), s.to_ascii_uppercase());
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Error type shared by the model-layer parsers.
+
+use std::fmt;
+
+/// Errors produced when constructing or parsing model-layer types.
+///
+/// Every variant carries enough context to render a human-readable message;
+/// the offending input is truncated to keep errors bounded even when fed
+/// hostile WHOIS blobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// An ASN was outside the 32-bit range or syntactically malformed.
+    InvalidAsn {
+        /// The rejected input, truncated to 64 bytes.
+        input: String,
+    },
+    /// A domain name failed validation (empty label, bad character, length).
+    InvalidDomain {
+        /// The rejected input, truncated to 64 bytes.
+        input: String,
+        /// Why the domain was rejected.
+        reason: &'static str,
+    },
+    /// A URL failed validation.
+    InvalidUrl {
+        /// The rejected input, truncated to 64 bytes.
+        input: String,
+        /// Why the URL was rejected.
+        reason: &'static str,
+    },
+    /// An email address failed validation.
+    InvalidEmail {
+        /// The rejected input, truncated to 64 bytes.
+        input: String,
+    },
+    /// A country code was not two ASCII letters.
+    InvalidCountry {
+        /// The rejected input, truncated to 64 bytes.
+        input: String,
+    },
+    /// A confidence code was outside `1..=10`.
+    InvalidConfidence {
+        /// The rejected numeric value.
+        value: i64,
+    },
+    /// A date was outside the supported range or malformed.
+    InvalidDate {
+        /// The rejected input, truncated to 64 bytes.
+        input: String,
+    },
+    /// An RIR name did not match any of the five registries.
+    UnknownRegistry {
+        /// The rejected input, truncated to 64 bytes.
+        input: String,
+    },
+}
+
+/// Truncate hostile input before embedding it in an error message.
+pub(crate) fn clip(s: &str) -> String {
+    const MAX: usize = 64;
+    if s.len() <= MAX {
+        s.to_owned()
+    } else {
+        let mut end = MAX;
+        while !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        format!("{}…", &s[..end])
+    }
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidAsn { input } => write!(f, "invalid ASN: {input:?}"),
+            ModelError::InvalidDomain { input, reason } => {
+                write!(f, "invalid domain {input:?}: {reason}")
+            }
+            ModelError::InvalidUrl { input, reason } => {
+                write!(f, "invalid URL {input:?}: {reason}")
+            }
+            ModelError::InvalidEmail { input } => write!(f, "invalid email: {input:?}"),
+            ModelError::InvalidCountry { input } => write!(f, "invalid country code: {input:?}"),
+            ModelError::InvalidConfidence { value } => {
+                write!(f, "confidence code {value} outside 1..=10")
+            }
+            ModelError::InvalidDate { input } => write!(f, "invalid date: {input:?}"),
+            ModelError::UnknownRegistry { input } => write!(f, "unknown registry: {input:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clip_short_input_unchanged() {
+        assert_eq!(clip("hello"), "hello");
+    }
+
+    #[test]
+    fn clip_long_input_truncated() {
+        let long = "x".repeat(200);
+        let clipped = clip(&long);
+        assert!(clipped.len() < 80);
+        assert!(clipped.ends_with('…'));
+    }
+
+    #[test]
+    fn clip_respects_char_boundaries() {
+        // A multi-byte char straddling the 64-byte boundary must not panic.
+        let s = format!("{}é{}", "a".repeat(63), "b".repeat(50));
+        let _ = clip(&s);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::InvalidAsn {
+            input: "ASX".into(),
+        };
+        assert!(e.to_string().contains("ASX"));
+    }
+}

@@ -1,0 +1,155 @@
+//! Organization identity types.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Opaque, stable identifier for an organization in the synthetic universe.
+///
+/// Analogous to a DUNS number or a CAIDA AS2Org org handle: two ASes with the
+/// same `OrgId` are owned by the same legal entity.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct OrgId(pub u64);
+
+impl OrgId {
+    /// Wrap a raw identifier.
+    pub const fn new(value: u64) -> Self {
+        OrgId(value)
+    }
+
+    /// The raw value.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for OrgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ORG-{:08}", self.0)
+    }
+}
+
+/// An organization's legal/registered name.
+///
+/// Carries normalization helpers used throughout entity resolution: legal
+/// suffixes (`Inc`, `GmbH`, `SRL`, …) are noise for matching, and the paper's
+/// Crunchbase lookup "search[es] using a tokenized version of the AS name".
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct OrgName(String);
+
+/// Legal-entity suffixes stripped during name normalization. Sourced from
+/// common RIR registration suffixes across the five regions.
+pub const LEGAL_SUFFIXES: [&str; 22] = [
+    "inc", "llc", "ltd", "limited", "corp", "corporation", "co", "company", "gmbh", "ag", "sa",
+    "srl", "sarl", "bv", "nv", "oy", "ab", "as", "pty", "plc", "kk", "sro",
+];
+
+impl OrgName {
+    /// Wrap a raw name (whitespace-trimmed, internal runs collapsed).
+    pub fn new(input: &str) -> Self {
+        let collapsed = input.split_whitespace().collect::<Vec<_>>().join(" ");
+        OrgName(collapsed)
+    }
+
+    /// The name as stored.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Whether the raw name is empty after trimming.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Lower-cased alphanumeric tokens with legal suffixes and punctuation
+    /// removed — the canonical matching form.
+    ///
+    /// ```
+    /// use asdb_model::OrgName;
+    /// let n = OrgName::new("SUMIDA Romania S.R.L.");
+    /// assert_eq!(n.tokens(), vec!["sumida", "romania"]);
+    /// ```
+    pub fn tokens(&self) -> Vec<String> {
+        // Collapse dotted abbreviations ("S.R.L." -> "SRL") before splitting
+        // so legal suffixes written with periods are still recognized.
+        let undotted = self.0.replace('.', "");
+        undotted
+            .split(|c: char| !c.is_alphanumeric())
+            .filter(|t| !t.is_empty())
+            .map(|t| t.to_lowercase())
+            .filter(|t| !LEGAL_SUFFIXES.contains(&t.as_str()))
+            .collect()
+    }
+
+    /// Tokens joined with single spaces: a normalized comparable string.
+    pub fn normalized(&self) -> String {
+        self.tokens().join(" ")
+    }
+}
+
+impl fmt::Display for OrgName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for OrgName {
+    fn from(s: &str) -> Self {
+        OrgName::new(s)
+    }
+}
+
+impl From<String> for OrgName {
+    fn from(s: String) -> Self {
+        OrgName::new(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn org_id_display() {
+        assert_eq!(OrgId::new(42).to_string(), "ORG-00000042");
+    }
+
+    #[test]
+    fn name_collapses_whitespace() {
+        assert_eq!(OrgName::new("  Acme   Corp \t ").as_str(), "Acme Corp");
+    }
+
+    #[test]
+    fn tokens_strip_legal_suffixes_and_punctuation() {
+        let n = OrgName::new("Deutsche Telekom AG");
+        assert_eq!(n.tokens(), vec!["deutsche", "telekom"]);
+        let n = OrgName::new("O'Brien & Sons, Ltd.");
+        assert_eq!(n.tokens(), vec!["o", "brien", "sons"]);
+    }
+
+    #[test]
+    fn normalized_is_token_join() {
+        let n = OrgName::new("Panama Canal Authority");
+        assert_eq!(n.normalized(), "panama canal authority");
+    }
+
+    #[test]
+    fn empty_name() {
+        assert!(OrgName::new("   ").is_empty());
+        assert!(OrgName::new("").tokens().is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn tokens_never_panic_and_are_lowercase(s in ".{0,200}") {
+            for t in OrgName::new(&s).tokens() {
+                prop_assert!(!t.is_empty());
+                prop_assert_eq!(t.clone(), t.to_lowercase());
+            }
+        }
+    }
+}

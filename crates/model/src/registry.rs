@@ -1,0 +1,115 @@
+//! The five Regional Internet Registries.
+
+use crate::country::Region;
+use crate::error::{clip, ModelError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A Regional Internet Registry.
+///
+/// Each RIR publishes WHOIS data in its own dialect; `asdb-rir` implements
+/// the per-registry field conventions documented in the paper's Appendix A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Rir {
+    /// American Registry for Internet Numbers.
+    Arin,
+    /// RIPE Network Coordination Centre.
+    Ripe,
+    /// Asia-Pacific Network Information Centre.
+    Apnic,
+    /// African Network Information Centre.
+    Afrinic,
+    /// Latin America and Caribbean Network Information Centre.
+    Lacnic,
+}
+
+impl Rir {
+    /// All five registries in a fixed order.
+    pub const ALL: [Rir; 5] = [Rir::Arin, Rir::Ripe, Rir::Apnic, Rir::Afrinic, Rir::Lacnic];
+
+    /// Canonical lower-case name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Rir::Arin => "arin",
+            Rir::Ripe => "ripe",
+            Rir::Apnic => "apnic",
+            Rir::Afrinic => "afrinic",
+            Rir::Lacnic => "lacnic",
+        }
+    }
+
+    /// The service [`Region`] this registry covers.
+    pub fn region(&self) -> Region {
+        match self {
+            Rir::Arin => Region::NorthAmerica,
+            Rir::Ripe => Region::Europe,
+            Rir::Apnic => Region::AsiaPacific,
+            Rir::Afrinic => Region::Africa,
+            Rir::Lacnic => Region::LatinAmerica,
+        }
+    }
+
+    /// The registry serving a given region.
+    pub fn for_region(region: Region) -> Rir {
+        match region {
+            Region::NorthAmerica => Rir::Arin,
+            Region::Europe => Rir::Ripe,
+            Region::AsiaPacific => Rir::Apnic,
+            Region::Africa => Rir::Afrinic,
+            Region::LatinAmerica => Rir::Lacnic,
+        }
+    }
+}
+
+impl fmt::Display for Rir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Rir {
+    type Err = ModelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "arin" => Ok(Rir::Arin),
+            "ripe" | "ripencc" | "ripe-ncc" => Ok(Rir::Ripe),
+            "apnic" => Ok(Rir::Apnic),
+            "afrinic" => Ok(Rir::Afrinic),
+            "lacnic" => Ok(Rir::Lacnic),
+            _ => Err(ModelError::UnknownRegistry { input: clip(s) }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all() {
+        for rir in Rir::ALL {
+            let parsed: Rir = rir.to_string().parse().unwrap();
+            assert_eq!(parsed, rir);
+        }
+    }
+
+    #[test]
+    fn aliases_parse() {
+        assert_eq!("RIPE-NCC".parse::<Rir>().unwrap(), Rir::Ripe);
+        assert_eq!("ripencc".parse::<Rir>().unwrap(), Rir::Ripe);
+    }
+
+    #[test]
+    fn unknown_rejected() {
+        assert!("iana".parse::<Rir>().is_err());
+    }
+
+    #[test]
+    fn region_bijection() {
+        for rir in Rir::ALL {
+            assert_eq!(Rir::for_region(rir.region()), rir);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Deterministic seed derivation.
+//!
+//! Everything random in the workspace — the synthetic universe, data source
+//! noise, labeler behaviour, crowdworker behaviour, ML initialization —
+//! flows from a single [`WorldSeed`]. Sub-seeds are derived by hashing a
+//! component label into the root seed with SplitMix64, so adding a new
+//! consumer never perturbs the streams of existing consumers (no shared
+//! global RNG, no ordering sensitivity).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Root seed for a reproducible experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct WorldSeed(pub u64);
+
+impl WorldSeed {
+    /// The seed used by the repository's canonical experiment runs.
+    pub const DEFAULT: WorldSeed = WorldSeed(0x5eed_a5db_2021_1102);
+
+    /// Wrap a raw seed.
+    pub const fn new(value: u64) -> Self {
+        WorldSeed(value)
+    }
+
+    /// Derive a named sub-seed. The same `(seed, label)` pair always yields
+    /// the same sub-seed; distinct labels yield statistically independent
+    /// streams.
+    pub fn derive(self, label: &str) -> WorldSeed {
+        let mut h = self.0 ^ 0x9e37_79b9_7f4a_7c15;
+        for &b in label.as_bytes() {
+            h = splitmix64(h ^ u64::from(b));
+        }
+        WorldSeed(splitmix64(h))
+    }
+
+    /// Derive a numbered sub-seed (e.g. per-AS, per-worker streams).
+    pub fn derive_index(self, label: &str, index: u64) -> WorldSeed {
+        WorldSeed(splitmix64(self.derive(label).0 ^ splitmix64(index)))
+    }
+
+    /// The raw value, for seeding `rand::rngs::StdRng` via `seed_from_u64`.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for WorldSeed {
+    /// The canonical experiment seed, [`WorldSeed::DEFAULT`].
+    fn default() -> Self {
+        WorldSeed::DEFAULT
+    }
+}
+
+impl fmt::Display for WorldSeed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// SplitMix64 finalizer — the standard 64-bit mixing function used to expand
+/// seeds (Steele et al., "Fast Splittable Pseudorandom Number Generators").
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn derivation_is_deterministic() {
+        let s = WorldSeed::new(42);
+        assert_eq!(s.derive("worldgen"), s.derive("worldgen"));
+        assert_ne!(s.derive("worldgen"), s.derive("websim"));
+    }
+
+    #[test]
+    fn indexed_streams_differ() {
+        let s = WorldSeed::DEFAULT;
+        let a = s.derive_index("as", 1);
+        let b = s.derive_index("as", 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn labels_spread_well() {
+        let s = WorldSeed::new(7);
+        let seeds: HashSet<u64> = (0..1000)
+            .map(|i| s.derive_index("spread", i).value())
+            .collect();
+        assert_eq!(seeds.len(), 1000, "derived seeds must not collide");
+    }
+
+    #[test]
+    fn splitmix_known_vector() {
+        // First output of SplitMix64 seeded with 0 (reference value).
+        assert_eq!(splitmix64(0), 0xe220a8397b1dcdaf);
+    }
+
+    proptest! {
+        #[test]
+        fn different_roots_give_different_derivations(a in any::<u64>(), b in any::<u64>()) {
+            prop_assume!(a != b);
+            prop_assert_ne!(
+                WorldSeed::new(a).derive("x"),
+                WorldSeed::new(b).derive("x")
+            );
+        }
+    }
+}

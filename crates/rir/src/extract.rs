@@ -1,0 +1,433 @@
+//! Appendix A field extraction.
+//!
+//! Turns a raw [`WhoisRecord`] into the structured [`ParsedWhois`] the ASdb
+//! pipeline consumes. The rules follow Appendix A exactly:
+//!
+//! * **Name**: "organization name (provided for 80.19% ASes), description
+//!   (provided for 24.81% ASes) and AS name (provided for 100% of ASes)" —
+//!   in that order of preference.
+//! * **Street address**: per-RIR (RIPE: description field; APNIC/AFRINIC/
+//!   ARIN: address field, with AFRINIC's `*`-obfuscated parts removed;
+//!   LACNIC: city + country fields).
+//! * **Phone**: only APNIC and ARIN publish phone numbers.
+//! * **Domains**: "for all RIRs except LACNIC, we extract candidate domains
+//!   by using the provided emails … in addition to a regex match to find all
+//!   URLs in the remarks field."
+
+use crate::object::WhoisRecord;
+use asdb_model::{Asn, CountryCode, Domain, Email, Rir, Url};
+use serde::{Deserialize, Serialize};
+
+/// Where the preferred organization name came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NameSource {
+    /// An organisation-name attribute (best).
+    OrgName,
+    /// A description attribute.
+    Description,
+    /// The AS name/handle (always present, often uninformative).
+    AsName,
+}
+
+/// Structured WHOIS data for one AS, post-extraction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParsedWhois {
+    /// The AS number.
+    pub asn: Asn,
+    /// Which registry the record came from.
+    pub rir: Rir,
+    /// The preferred name per the Appendix A preference order.
+    pub name: String,
+    /// Which field supplied [`ParsedWhois::name`].
+    pub name_source: NameSource,
+    /// The raw AS name attribute.
+    pub as_name: String,
+    /// Street address, if extractable (obfuscated parts removed).
+    pub address: Option<String>,
+    /// Contact phone, if published (APNIC/ARIN only).
+    pub phone: Option<String>,
+    /// Registration country.
+    pub country: Option<CountryCode>,
+    /// All contact emails found across objects.
+    pub emails: Vec<Email>,
+    /// URLs found in remark/comment attributes.
+    pub urls: Vec<Url>,
+}
+
+impl ParsedWhois {
+    /// Candidate organization domains: the registrable domains of contact
+    /// emails plus remark-URL hosts, deduplicated, in discovery order.
+    /// Empty for LACNIC records ("LACNIC does not provide domains or
+    /// contact emails").
+    pub fn candidate_domains(&self) -> Vec<Domain> {
+        let mut seen = Vec::new();
+        let mut push = |d: Domain| {
+            if !seen.contains(&d) {
+                seen.push(d);
+            }
+        };
+        for e in &self.emails {
+            push(e.domain.registrable());
+        }
+        for u in &self.urls {
+            push(u.host.registrable());
+        }
+        seen
+    }
+
+    /// Whether the record exposes any domain signal at all.
+    pub fn has_domain_signal(&self) -> bool {
+        !self.emails.is_empty() || !self.urls.is_empty()
+    }
+}
+
+/// Attribute names that may carry an organization name, in preference order
+/// groups (Appendix A).
+const ORG_NAME_ATTRS: [&str; 3] = ["org-name", "orgname", "owner"];
+const DESCR_ATTRS: [&str; 2] = ["descr", "comment"];
+const AS_NAME_ATTRS: [&str; 2] = ["as-name", "asname"];
+const EMAIL_ATTRS: [&str; 6] = [
+    "abuse-mailbox",
+    "e-mail",
+    "email",
+    "orgabuseemail",
+    "orgtechemail",
+    "abuse-c",
+];
+const REMARK_ATTRS: [&str; 2] = ["remarks", "comment"];
+
+/// Run the Appendix A extraction over a record.
+pub fn extract(record: &WhoisRecord) -> ParsedWhois {
+    let as_name = first_of(record, &AS_NAME_ATTRS)
+        .unwrap_or_else(|| record.asn.to_string());
+
+    // Name preference: org name > description > AS name.
+    let (name, name_source) = if let Some(n) = first_of(record, &ORG_NAME_ATTRS) {
+        (n, NameSource::OrgName)
+    } else if let Some(d) = first_non_address_descr(record) {
+        (d, NameSource::Description)
+    } else {
+        (as_name.clone(), NameSource::AsName)
+    };
+
+    let address = extract_address(record);
+    let phone = match record.rir {
+        Rir::Apnic => record.first("phone").map(str::to_owned),
+        Rir::Arin => record
+            .first("orgabusephone")
+            .or_else(|| record.first("orgtechphone"))
+            .map(str::to_owned),
+        _ => None,
+    };
+    let country = record
+        .first("country")
+        .and_then(|c| CountryCode::new(c).ok());
+
+    let (emails, urls) = if record.rir == Rir::Lacnic {
+        (Vec::new(), Vec::new())
+    } else {
+        (extract_emails(record), extract_urls(record))
+    };
+
+    ParsedWhois {
+        asn: record.asn,
+        rir: record.rir,
+        name,
+        name_source,
+        as_name,
+        address,
+        phone,
+        country,
+        emails,
+        urls,
+    }
+}
+
+fn first_of(record: &WhoisRecord, attrs: &[&str]) -> Option<String> {
+    attrs
+        .iter()
+        .find_map(|a| record.first(a))
+        .map(str::to_owned)
+}
+
+/// The first description value that doesn't look like an embedded postal
+/// address (RIPE records carry addresses in descr lines; using one as the
+/// organization name would be wrong).
+fn first_non_address_descr(record: &WhoisRecord) -> Option<String> {
+    for attr in DESCR_ATTRS {
+        for v in record.all(attr) {
+            if !looks_like_address(v) && !v.starts_with("see http") {
+                return Some(v.to_owned());
+            }
+        }
+    }
+    None
+}
+
+/// Heuristic: a value with multiple comma-separated parts, at least one of
+/// which starts with a digit or is all-stars, reads as a postal address.
+fn looks_like_address(v: &str) -> bool {
+    let parts: Vec<&str> = v.split(',').map(str::trim).collect();
+    parts.len() >= 2
+        && parts.iter().any(|p| {
+            p.starts_with(|c: char| c.is_ascii_digit()) || p.chars().all(|c| c == '*')
+        })
+}
+
+fn extract_address(record: &WhoisRecord) -> Option<String> {
+    match record.rir {
+        Rir::Ripe => {
+            // RIPE: "We use the description field; RIPE has no address
+            // field." Find the descr line that looks like an address.
+            record
+                .all("descr")
+                .into_iter()
+                .find(|v| looks_like_address(v))
+                .map(str::to_owned)
+        }
+        Rir::Apnic => record.first("address").map(str::to_owned),
+        Rir::Afrinic => record
+            .first("address")
+            .map(strip_obfuscation)
+            .filter(|s| !s.is_empty()),
+        Rir::Lacnic => {
+            // "We use the provided city and country fields."
+            let city = record.first("city")?;
+            let country = record.first("country").unwrap_or("");
+            Some(if country.is_empty() {
+                city.to_owned()
+            } else {
+                format!("{city}, {country}")
+            })
+        }
+        Rir::Arin => {
+            // ARIN spreads the address over several attributes.
+            let mut parts = Vec::new();
+            for attr in ["address", "city", "stateprov", "postalcode"] {
+                if let Some(v) = record.first(attr) {
+                    if !v.is_empty() {
+                        parts.push(v.to_owned());
+                    }
+                }
+            }
+            (!parts.is_empty()).then(|| parts.join(", "))
+        }
+    }
+}
+
+/// Remove `*`-obfuscated components from an AFRINIC address: "we remove all
+/// obfuscated parts of the address."
+fn strip_obfuscation(addr: &str) -> String {
+    addr.split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty() && !p.chars().all(|c| c == '*'))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn extract_emails(record: &WhoisRecord) -> Vec<Email> {
+    let mut out: Vec<Email> = Vec::new();
+    for attr in EMAIL_ATTRS {
+        for v in record.all(attr) {
+            if let Ok(e) = Email::new(v) {
+                if !out.contains(&e) {
+                    out.push(e);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Regex-free URL scan: find `http://` / `https://` tokens in remark
+/// attributes and parse them ("a regex match to find all URLs in the
+/// 'remarks' field").
+pub fn scan_urls(text: &str) -> Vec<Url> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let rest = &text[i..];
+        let at = match rest.find("http") {
+            Some(p) => i + p,
+            None => break,
+        };
+        let tail = &text[at..];
+        if tail.starts_with("http://") || tail.starts_with("https://") {
+            let end = tail
+                .find(|c: char| c.is_whitespace() || c == '"' || c == '>' || c == ')')
+                .unwrap_or(tail.len());
+            let candidate = tail[..end].trim_end_matches(['.', ',', ';']);
+            if let Ok(u) = Url::parse(candidate) {
+                if !out.contains(&u) {
+                    out.push(u);
+                }
+            }
+            i = at + end.max(1);
+        } else {
+            i = at + 4;
+        }
+    }
+    out
+}
+
+fn extract_urls(record: &WhoisRecord) -> Vec<Url> {
+    let mut out = Vec::new();
+    for attr in REMARK_ATTRS {
+        for v in record.all(attr) {
+            for u in scan_urls(v) {
+                if !out.contains(&u) {
+                    out.push(u);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dialect::{serialize, Address, Registration};
+    use proptest::prelude::*;
+
+    fn reg_with_everything() -> Registration {
+        Registration {
+            asn: Asn::new(3356),
+            as_name: "LEVEL3".into(),
+            org_name: Some("Level 3 Parent, LLC".into()),
+            descr: Some("Tier 1 backbone".into()),
+            address: Some(Address {
+                street: "1025 Eldorado Blvd".into(),
+                city: "Broomfield".into(),
+                state: "CO".into(),
+                postal: "80021".into(),
+            }),
+            obfuscate_address: false,
+            phone: Some("+1-720-888-1000".into()),
+            country: Some(CountryCode::new("US").unwrap()),
+            abuse_emails: vec![Email::new("abuse@level3.com").unwrap()],
+            tech_emails: vec![Email::new("noc@level3.com").unwrap()],
+            remark_urls: vec![Url::parse("https://www.level3.com/").unwrap()],
+        }
+    }
+
+    #[test]
+    fn name_prefers_org_name() {
+        let p = extract(&serialize(Rir::Ripe, &reg_with_everything()));
+        assert_eq!(p.name, "Level 3 Parent, LLC");
+        assert_eq!(p.name_source, NameSource::OrgName);
+    }
+
+    #[test]
+    fn name_falls_back_to_descr_then_asname() {
+        let mut reg = reg_with_everything();
+        reg.org_name = None;
+        let p = extract(&serialize(Rir::Ripe, &reg));
+        assert_eq!(p.name, "Tier 1 backbone");
+        assert_eq!(p.name_source, NameSource::Description);
+        reg.descr = None;
+        reg.address = None; // otherwise the address-descr would be skipped anyway
+        let p = extract(&serialize(Rir::Ripe, &reg));
+        assert_eq!(p.name, "LEVEL3");
+        assert_eq!(p.name_source, NameSource::AsName);
+    }
+
+    #[test]
+    fn address_descr_is_not_mistaken_for_name() {
+        // RIPE record with no org and no descr, but an address embedded as
+        // a descr line: the name must fall back to the AS name.
+        let mut reg = reg_with_everything();
+        reg.org_name = None;
+        reg.descr = None;
+        let p = extract(&serialize(Rir::Ripe, &reg));
+        assert_eq!(p.name_source, NameSource::AsName);
+        // …but the address is still extracted from that descr line.
+        assert!(p.address.unwrap().contains("Broomfield"));
+    }
+
+    #[test]
+    fn afrinic_obfuscated_parts_removed() {
+        let mut reg = reg_with_everything();
+        reg.obfuscate_address = true;
+        let p = extract(&serialize(Rir::Afrinic, &reg));
+        let addr = p.address.unwrap();
+        assert!(!addr.contains('*'), "stars must be stripped: {addr}");
+        assert!(addr.contains("Broomfield"));
+    }
+
+    #[test]
+    fn lacnic_address_is_city_country_and_no_domains() {
+        let p = extract(&serialize(Rir::Lacnic, &reg_with_everything()));
+        assert_eq!(p.address.as_deref(), Some("Broomfield, US"));
+        assert!(p.emails.is_empty());
+        assert!(p.urls.is_empty());
+        assert!(p.candidate_domains().is_empty());
+        assert!(!p.has_domain_signal());
+    }
+
+    #[test]
+    fn arin_full_extraction() {
+        let p = extract(&serialize(Rir::Arin, &reg_with_everything()));
+        assert_eq!(p.name, "Level 3 Parent, LLC");
+        assert!(p.address.unwrap().contains("1025 Eldorado Blvd"));
+        assert_eq!(p.phone.as_deref(), Some("+1-720-888-1000"));
+        assert_eq!(p.country.unwrap().as_str(), "US");
+        assert_eq!(p.emails.len(), 2);
+    }
+
+    #[test]
+    fn phone_only_from_apnic_and_arin() {
+        let reg = reg_with_everything();
+        assert!(extract(&serialize(Rir::Ripe, &reg)).phone.is_none());
+        assert!(extract(&serialize(Rir::Afrinic, &reg)).phone.is_none());
+        assert!(extract(&serialize(Rir::Apnic, &reg)).phone.is_some());
+        assert!(extract(&serialize(Rir::Arin, &reg)).phone.is_some());
+    }
+
+    #[test]
+    fn candidate_domains_deduplicate_and_registrable() {
+        let p = extract(&serialize(Rir::Ripe, &reg_with_everything()));
+        let doms = p.candidate_domains();
+        // abuse@level3.com, noc@level3.com, www.level3.com → one domain.
+        assert_eq!(doms.len(), 1);
+        assert_eq!(doms[0].as_str(), "level3.com");
+    }
+
+    #[test]
+    fn scan_urls_finds_multiple() {
+        let urls = scan_urls(
+            "visit https://example.com/a and http://other.org, or nothing",
+        );
+        assert_eq!(urls.len(), 2);
+        assert_eq!(urls[0].host.as_str(), "example.com");
+        assert_eq!(urls[1].host.as_str(), "other.org");
+    }
+
+    #[test]
+    fn scan_urls_ignores_non_urls() {
+        assert!(scan_urls("httpd is a web server; see docs").is_empty());
+        assert!(scan_urls("").is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn scan_urls_never_panics(s in ".{0,500}") {
+            let _ = scan_urls(&s);
+        }
+
+        #[test]
+        fn extract_never_panics_on_arbitrary_records(
+            attrs in proptest::collection::vec(("[a-z-]{1,12}", ".{0,40}"), 0..10)
+        ) {
+            let mut obj = crate::object::RpslObject::new();
+            for (n, v) in &attrs {
+                obj.push(n, v);
+            }
+            for rir in Rir::ALL {
+                let rec = WhoisRecord { rir, asn: Asn::new(1), objects: vec![obj.clone()] };
+                let _ = extract(&rec);
+            }
+        }
+    }
+}

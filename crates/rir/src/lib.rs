@@ -1,0 +1,36 @@
+//! # asdb-rir
+//!
+//! The WHOIS substrate: RPSL-style objects, per-registry dump dialects,
+//! parsing, and the Appendix A field-extraction rules.
+//!
+//! "Regional Internet Registries (RIRs) like ARIN and RIPE maintain basic AS
+//! ownership information … which they publish through WHOIS. Unfortunately,
+//! WHOIS data is only semi-structured, and, in many cases, outdated or
+//! incomplete" (§2). ASdb's pipeline "begins upon the receipt of WHOIS data
+//! for an AS (e.g., ASN, AS name, organization name, address, abuse
+//! contacts)" (§5.1), and Appendix A documents per-registry extraction
+//! quirks — different address conventions, AFRINIC's `*`-obfuscated
+//! addresses, LACNIC's missing contact emails.
+//!
+//! This crate provides:
+//!
+//! * [`object`]: the generic RPSL attribute-value object model,
+//! * [`parse`]: a robust dump parser (comments, continuation lines,
+//!   malformed input tolerated, never panics),
+//! * [`dialect`]: each registry's attribute naming and serialization,
+//! * [`extract`]: the Appendix A rules turning raw objects into a
+//!   structured [`extract::ParsedWhois`],
+//! * [`dump`]: reading/writing multi-registry bulk dump files.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dialect;
+pub mod dump;
+pub mod extract;
+pub mod object;
+pub mod parse;
+
+pub use extract::{extract, ParsedWhois};
+pub use object::{Attr, RpslObject, WhoisRecord};
+pub use parse::parse_dump;

@@ -1,0 +1,203 @@
+//! Parsing WHOIS dump text into [`RpslObject`]s.
+//!
+//! The parser is deliberately forgiving — real bulk WHOIS is full of
+//! comments, blank-line noise, continuation lines, and outright malformed
+//! lines ("WHOIS data is only semi-structured"). Malformed lines are
+//! collected as diagnostics rather than aborting the parse, and the parser
+//! never panics on any input (property-tested below).
+
+use crate::object::{Attr, RpslObject};
+
+/// A non-fatal parse diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseWarning {
+    /// 1-based line number in the input.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+/// Result of parsing a dump: the objects plus any diagnostics.
+#[derive(Debug, Clone, Default)]
+pub struct Parsed {
+    /// Parsed objects in input order.
+    pub objects: Vec<RpslObject>,
+    /// Lines that could not be interpreted.
+    pub warnings: Vec<ParseWarning>,
+}
+
+/// Parse a WHOIS dump: objects are blank-line separated blocks of
+/// `attribute: value` lines. Handles:
+///
+/// * `%` and `#` comment lines (skipped),
+/// * continuation lines (leading whitespace or `+`), appended to the
+///   previous attribute's value with a single space,
+/// * attribute names with arbitrary case (normalized to lower case),
+/// * malformed lines (no colon): recorded as warnings and skipped.
+pub fn parse_dump(input: &str) -> Parsed {
+    let mut out = Parsed::default();
+    let mut current = RpslObject::new();
+
+    for (idx, raw) in input.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim_end();
+
+        if line.trim().is_empty() {
+            if !current.is_empty() {
+                out.objects.push(std::mem::take(&mut current));
+            }
+            continue;
+        }
+        if line.starts_with('%') || line.starts_with('#') {
+            continue;
+        }
+        // Continuation line: leading space/tab, or a '+' marker (RPSL).
+        let is_continuation = raw.starts_with(' ') || raw.starts_with('\t') || raw.starts_with('+');
+        if is_continuation {
+            let cont = line.trim_start_matches('+').trim();
+            if let Some(last) = current.attrs.last_mut() {
+                if !cont.is_empty() {
+                    if !last.value.is_empty() {
+                        last.value.push(' ');
+                    }
+                    last.value.push_str(cont);
+                }
+            } else {
+                out.warnings.push(ParseWarning {
+                    line: lineno,
+                    message: "continuation line with no preceding attribute".into(),
+                });
+            }
+            continue;
+        }
+        match line.split_once(':') {
+            Some((name, value)) if !name.trim().is_empty() => {
+                current.attrs.push(Attr::new(name, value));
+            }
+            _ => out.warnings.push(ParseWarning {
+                line: lineno,
+                message: format!("unparseable line: {:?}", truncate(line)),
+            }),
+        }
+    }
+    if !current.is_empty() {
+        out.objects.push(current);
+    }
+    out
+}
+
+fn truncate(s: &str) -> String {
+    if s.len() <= 48 {
+        s.to_owned()
+    } else {
+        let mut end = 48;
+        while !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        format!("{}…", &s[..end])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const SAMPLE: &str = "\
+% RIPE database dump
+aut-num:    AS3356
+as-name:    LEVEL3
+descr:      Level 3 Parent, LLC
++           formerly Level 3 Communications
+remarks:    http://www.level3.com
+# trailing comment
+
+organisation:  ORG-LPL1-RIPE
+org-name:      Level 3 Parent, LLC
+address:       1025 Eldorado Blvd
+               Broomfield CO 80021
+";
+
+    #[test]
+    fn parses_objects_and_continuations() {
+        let p = parse_dump(SAMPLE);
+        assert_eq!(p.objects.len(), 2);
+        assert!(p.warnings.is_empty());
+        let aut = &p.objects[0];
+        assert_eq!(aut.class(), "aut-num");
+        assert_eq!(
+            aut.first("descr"),
+            Some("Level 3 Parent, LLC formerly Level 3 Communications")
+        );
+        let org = &p.objects[1];
+        assert_eq!(
+            org.first("address"),
+            Some("1025 Eldorado Blvd Broomfield CO 80021")
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let p = parse_dump("% comment\n# another\naut-num: AS1\n");
+        assert_eq!(p.objects.len(), 1);
+        assert!(p.warnings.is_empty());
+    }
+
+    #[test]
+    fn malformed_lines_become_warnings() {
+        let p = parse_dump("aut-num: AS1\nthis line has no colon at all\n");
+        assert_eq!(p.objects.len(), 1);
+        assert_eq!(p.warnings.len(), 1);
+        assert_eq!(p.warnings[0].line, 2);
+    }
+
+    #[test]
+    fn orphan_continuation_is_warned() {
+        let p = parse_dump("   orphan continuation\n");
+        assert!(p.objects.is_empty());
+        assert_eq!(p.warnings.len(), 1);
+    }
+
+    #[test]
+    fn empty_and_blank_inputs() {
+        assert!(parse_dump("").objects.is_empty());
+        assert!(parse_dump("\n\n\n").objects.is_empty());
+    }
+
+    #[test]
+    fn colon_in_value_preserved() {
+        let p = parse_dump("remarks: see http://example.com:8080/path\n");
+        assert_eq!(
+            p.objects[0].first("remarks"),
+            Some("see http://example.com:8080/path")
+        );
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let p = parse_dump(SAMPLE);
+        let rendered: String = p
+            .objects
+            .iter()
+            .map(|o| format!("{o}\n"))
+            .collect::<Vec<_>>()
+            .join("");
+        let p2 = parse_dump(&rendered);
+        assert_eq!(p.objects, p2.objects);
+    }
+
+    proptest! {
+        #[test]
+        fn never_panics(input in ".{0,2000}") {
+            let _ = parse_dump(&input);
+        }
+
+        #[test]
+        fn object_count_bounded_by_blocks(input in "([a-z]{1,8}: [a-z ]{0,20}\n|\n){0,50}") {
+            let p = parse_dump(&input);
+            // Can never produce more objects than non-empty lines.
+            let lines = input.lines().filter(|l| !l.trim().is_empty()).count();
+            prop_assert!(p.objects.len() <= lines.max(1));
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests: every registry dialect must survive the render → dump →
+//! parse → extract chain for arbitrary registration data.
+
+use asdb_model::{Asn, CountryCode, Email, Rir, Url};
+use asdb_rir::dialect::{serialize, Address, Registration};
+use asdb_rir::dump::{read_dump, write_dump};
+use asdb_rir::extract;
+use proptest::prelude::*;
+
+fn arb_registration() -> impl Strategy<Value = Registration> {
+    (
+        1u32..4_000_000_000,
+        "[A-Z][A-Z0-9-]{1,18}",
+        proptest::option::of("[A-Za-z][A-Za-z ]{1,28}[A-Za-z]"),
+        proptest::option::of("[A-Za-z][A-Za-z ]{1,28}[A-Za-z]"),
+        proptest::option::of(("[0-9]{1,4} [A-Za-z]{2,12} St", "[A-Za-z]{3,12}")),
+        any::<bool>(),
+        proptest::option::of("[a-z]{2,10}"),
+        proptest::option::of("[a-z]{2,10}\\.(com|net|org|de|jp)"),
+    )
+        .prop_map(
+            |(asn, as_name, org, descr, addr, obfuscate, local, domain)| {
+                let mut reg = Registration::bare(Asn::new(asn), &as_name);
+                reg.org_name = org;
+                reg.descr = descr;
+                reg.address = addr.map(|(street, city)| Address {
+                    street,
+                    city,
+                    state: String::new(),
+                    postal: "12345".into(),
+                });
+                reg.obfuscate_address = obfuscate;
+                reg.country = Some(CountryCode::new("US").expect("static"));
+                if let (Some(l), Some(d)) = (local, domain) {
+                    if let Ok(e) = Email::new(&format!("{l}@{d}")) {
+                        reg.abuse_emails.push(e);
+                    }
+                    if let Ok(u) = Url::parse(&format!("https://www.{d}/")) {
+                        reg.remark_urls.push(u);
+                    }
+                }
+                reg
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn render_dump_parse_extract_roundtrip(reg in arb_registration()) {
+        for rir in Rir::ALL {
+            let rendered = serialize(rir, &reg);
+            let text = write_dump(std::slice::from_ref(&rendered));
+            let back = read_dump(&text);
+            prop_assert_eq!(back.len(), 1, "{} produced {} records", rir, back.len());
+            prop_assert_eq!(back[0].asn, reg.asn);
+            prop_assert_eq!(back[0].rir, rir);
+
+            let direct = extract(&rendered);
+            let via_text = extract(&back[0]);
+            // The extraction must not depend on whether the record came
+            // from memory or from re-parsed dump text.
+            prop_assert_eq!(&direct.name, &via_text.name, "{}", rir);
+            prop_assert_eq!(direct.name_source, via_text.name_source);
+            prop_assert_eq!(&direct.address, &via_text.address, "{}", rir);
+            prop_assert_eq!(&direct.phone, &via_text.phone);
+            prop_assert_eq!(direct.country, via_text.country);
+            prop_assert_eq!(direct.candidate_domains(), via_text.candidate_domains());
+        }
+    }
+
+    #[test]
+    fn name_preference_order_always_respected(reg in arb_registration()) {
+        for rir in Rir::ALL {
+            let parsed = extract(&serialize(rir, &reg));
+            match (&reg.org_name, &reg.descr) {
+                (Some(org), _) => prop_assert_eq!(&parsed.name, org, "{}", rir),
+                // LACNIC routes the AS name through `owner`, so a missing
+                // org name falls back to the AS name there regardless of
+                // descr; other registries prefer the description.
+                (None, Some(d)) if rir != Rir::Lacnic => {
+                    prop_assert_eq!(&parsed.name, d, "{}", rir)
+                }
+                _ => prop_assert_eq!(&parsed.name, &reg.as_name, "{}", rir),
+            }
+        }
+    }
+
+    #[test]
+    fn lacnic_never_leaks_domains(reg in arb_registration()) {
+        let parsed = extract(&serialize(Rir::Lacnic, &reg));
+        prop_assert!(parsed.candidate_domains().is_empty());
+        prop_assert!(parsed.emails.is_empty());
+    }
+
+    #[test]
+    fn afrinic_obfuscation_never_leaks_street(reg in arb_registration()) {
+        prop_assume!(reg.address.is_some());
+        let mut reg = reg;
+        reg.obfuscate_address = true;
+        let parsed = extract(&serialize(Rir::Afrinic, &reg));
+        if let (Some(addr), Some(orig)) = (&parsed.address, &reg.address) {
+            prop_assert!(
+                !addr.contains(&orig.street),
+                "street {:?} leaked into {:?}",
+                orig.street,
+                addr
+            );
+        }
+    }
+}

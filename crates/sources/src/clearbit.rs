@@ -1,0 +1,153 @@
+//! Simulated Clearbit.
+//!
+//! Clearbit "provides 2-digit NAICS prefixes and their own custom system"
+//! (Table 1) and is queryable by domain only. The 2-digit granularity is
+//! structural poison for technology classification: sector 51
+//! ("Information") maps to media/publishing in NAICSlite, so tech
+//! organizations essentially never receive a Computer-and-IT label —
+//! Table 4 measures 6% tech recall against 76% non-tech.
+
+use crate::profile;
+use crate::registry::{profile_covers, BusinessRegistry};
+use crate::{DataSource, Query, SourceId, SourceMatch};
+use asdb_model::{OrgId, WorldSeed};
+use asdb_taxonomy::translate::naics_candidates;
+use asdb_taxonomy::{CategorySet, Layer1, NaicsCode};
+use asdb_worldgen::{Organization, World};
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::RngExt;
+
+/// The simulated Clearbit service.
+#[derive(Debug, Clone)]
+pub struct Clearbit {
+    registry: BusinessRegistry,
+}
+
+/// Clearbit's label: the true category's NAICS code truncated to its
+/// 2-digit sector, then translated — faithfully reproducing how sector-
+/// level codes lose the tech signal.
+fn emit_sector_label(org: &Organization, rng: &mut StdRng) -> (String, CategorySet) {
+    let p = profile::CLEARBIT;
+    // Start from a (usually correct) full code…
+    let target = org.category;
+    let full: NaicsCode = *naics_candidates(target)
+        .choose(rng)
+        .expect("candidates non-empty");
+    // …but a slice of entries carry an editorially wrong code first.
+    let correct_code = rng.random_bool(if org.is_tech() {
+        0.85 // the code itself is usually fine; the truncation ruins it
+    } else {
+        p.l1_correct
+    });
+    let full = if correct_code {
+        full
+    } else {
+        // A code from some other sector.
+        let l1: Layer1 = *Layer1::ALL.choose(rng).expect("non-empty");
+        l1.layer2_iter()
+            .find_map(|l2| naics_candidates(l2).first().copied())
+            .unwrap_or(full)
+    };
+    let sector = full.prefix(2);
+    (
+        format!("sector {sector}"),
+        asdb_taxonomy::naics_to_naicslite(sector),
+    )
+}
+
+impl Clearbit {
+    /// Build over a world.
+    pub fn build(world: &World, seed: WorldSeed) -> Clearbit {
+        let p = profile::CLEARBIT;
+        let registry = BusinessRegistry::build(
+            &world.orgs,
+            seed.derive("clearbit"),
+            move |o, rng| o.domain.is_some() && profile_covers(&p, o, rng),
+            emit_sector_label,
+        );
+        Clearbit { registry }
+    }
+
+    /// Number of listed organizations.
+    pub fn len(&self) -> usize {
+        self.registry.len()
+    }
+}
+
+impl DataSource for Clearbit {
+    fn id(&self) -> SourceId {
+        SourceId::Clearbit
+    }
+
+    fn lookup_org(&self, org: OrgId) -> Option<SourceMatch> {
+        let e = self.registry.by_org(org)?;
+        Some(SourceMatch {
+            source: SourceId::Clearbit,
+            entity: Some(e.org),
+            domain: e.domain.clone(),
+            raw_label: e.raw_label.clone(),
+            categories: e.categories.clone(),
+            confidence: None,
+        })
+    }
+
+    fn search(&self, query: &Query) -> Option<SourceMatch> {
+        // Clearbit is domain-keyed only (Table 1: searchable by W).
+        let d = query.domain.as_ref()?;
+        let e = self.registry.by_domain(d)?;
+        self.lookup_org(e.org)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asdb_model::WorldSeed;
+    use asdb_worldgen::WorldConfig;
+
+    fn setup() -> (World, Clearbit) {
+        let w = World::generate(WorldConfig::standard(WorldSeed::new(41)));
+        let c = Clearbit::build(&w, WorldSeed::new(42));
+        (w, c)
+    }
+
+    #[test]
+    fn tech_recall_is_structurally_terrible() {
+        let (w, c) = setup();
+        let (mut tech_ok, mut tech_n) = (0usize, 0usize);
+        let (mut non_ok, mut non_n) = (0usize, 0usize);
+        for org in &w.orgs {
+            if let Some(m) = c.lookup_org(org.id) {
+                let ok = m.categories.overlaps_l1(&org.truth());
+                if org.is_tech() {
+                    tech_ok += usize::from(ok);
+                    tech_n += 1;
+                } else {
+                    non_ok += usize::from(ok);
+                    non_n += 1;
+                }
+            }
+        }
+        let tech = tech_ok as f64 / tech_n.max(1) as f64;
+        let non = non_ok as f64 / non_n.max(1) as f64;
+        assert!(tech < 0.30, "tech recall should collapse, got {tech}");
+        assert!(non > 0.55, "non-tech recall = {non}");
+        assert!(non > tech * 3.0);
+    }
+
+    #[test]
+    fn search_requires_domain() {
+        let (w, c) = setup();
+        assert!(c.search(&Query::by_name("Anything At All")).is_none());
+        let covered = w
+            .orgs
+            .iter()
+            .find(|o| o.domain.is_some() && c.lookup_org(o.id).is_some())
+            .unwrap();
+        let m = c
+            .search(&Query::by_domain(covered.domain.clone().unwrap()))
+            .unwrap();
+        assert_eq!(m.entity, Some(covered.id));
+    }
+}

@@ -1,0 +1,205 @@
+//! Simulated PeeringDB: "a crowd-sourced database where operators can
+//! voluntarily register ASes as one of six categories" (§2). Coverage is
+//! tiny (15% of ASes) and heavily skewed to networks — but what is there is
+//! excellent: "PeeringDB reliably classifies ISPs with a 100% true positive
+//! rate" (§3.3).
+
+use crate::profile::{self, PeeringDbProfile};
+use crate::{DataSource, Query, SourceId, SourceMatch};
+use asdb_model::{Asn, OrgId, WorldSeed};
+use asdb_taxonomy::naicslite::known;
+use asdb_taxonomy::schemes::PeeringDbType;
+use asdb_taxonomy::Layer1;
+use asdb_worldgen::{Organization, World};
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+
+/// The simulated PeeringDB service.
+#[derive(Debug, Clone)]
+pub struct PeeringDb {
+    by_asn: HashMap<Asn, (OrgId, PeeringDbType)>,
+    by_org: HashMap<OrgId, PeeringDbType>,
+}
+
+/// The type an operator of this org would self-report.
+fn self_reported_type(
+    org: &Organization,
+    p: &PeeringDbProfile,
+    rng: &mut StdRng,
+) -> PeeringDbType {
+    let truthful = rng.random_bool(p.type_correct);
+    if !truthful {
+        return *PeeringDbType::ALL.choose(rng).expect("non-empty");
+    }
+    if org.category == known::isp() || org.category == known::phone() {
+        // Operators split between the two network labels.
+        if rng.random_bool(0.7) {
+            PeeringDbType::CableDslIsp
+        } else {
+            PeeringDbType::NetworkServiceProvider
+        }
+    } else if org.category == known::hosting()
+        || org.category == known::search_engine()
+        || org.category.layer1 == Layer1::Media
+    {
+        PeeringDbType::Content
+    } else if org.category.layer1 == Layer1::Education {
+        PeeringDbType::EducationResearch
+    } else if org.category.layer1 == Layer1::Nonprofits {
+        PeeringDbType::NonProfit
+    } else if org.category == known::ixp() {
+        PeeringDbType::NetworkServiceProvider
+    } else {
+        PeeringDbType::Enterprise
+    }
+}
+
+impl PeeringDb {
+    /// Build over a world.
+    pub fn build(world: &World, seed: WorldSeed) -> PeeringDb {
+        let p = profile::PEERINGDB;
+        let mut by_asn = HashMap::new();
+        let mut by_org = HashMap::new();
+        for (i, org) in world.orgs.iter().enumerate() {
+            let mut rng =
+                StdRng::seed_from_u64(seed.derive_index("pdb", i as u64).value());
+            let network_ish = matches!(
+                org.category,
+                c if c == known::isp() || c == known::ixp() || c == known::hosting()
+            );
+            let cover_p = if network_ish {
+                p.coverage_network
+            } else if org.is_tech() {
+                p.coverage_other_tech
+            } else {
+                p.coverage_nontech
+            };
+            if !rng.random_bool(cover_p) {
+                continue;
+            }
+            let t = self_reported_type(org, &p, &mut rng);
+            by_org.insert(org.id, t);
+        }
+        for rec in &world.ases {
+            if let Some(t) = by_org.get(&rec.org) {
+                by_asn.insert(rec.asn, (rec.org, *t));
+            }
+        }
+        PeeringDb { by_asn, by_org }
+    }
+
+    /// Number of registered ASes.
+    pub fn len(&self) -> usize {
+        self.by_asn.len()
+    }
+
+    /// The raw self-reported type for an ASN.
+    pub fn network_type(&self, asn: Asn) -> Option<PeeringDbType> {
+        self.by_asn.get(&asn).map(|(_, t)| *t)
+    }
+
+    fn to_match(&self, org: OrgId, t: PeeringDbType) -> SourceMatch {
+        SourceMatch {
+            source: SourceId::PeeringDb,
+            entity: Some(org),
+            domain: None,
+            raw_label: t.name().to_owned(),
+            categories: t.to_naicslite(),
+            confidence: None,
+        }
+    }
+}
+
+impl DataSource for PeeringDb {
+    fn id(&self) -> SourceId {
+        SourceId::PeeringDb
+    }
+
+    fn lookup_org(&self, org: OrgId) -> Option<SourceMatch> {
+        self.by_org.get(&org).map(|t| self.to_match(org, *t))
+    }
+
+    fn search(&self, query: &Query) -> Option<SourceMatch> {
+        let asn = query.asn?;
+        let (org, t) = self.by_asn.get(&asn)?;
+        Some(self.to_match(*org, *t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asdb_worldgen::WorldConfig;
+
+    fn setup() -> (World, PeeringDb) {
+        let w = World::generate(WorldConfig::standard(WorldSeed::new(61)));
+        let p = PeeringDb::build(&w, WorldSeed::new(62));
+        (w, p)
+    }
+
+    #[test]
+    fn coverage_is_small_and_tech_skewed() {
+        let (w, p) = setup();
+        let frac = p.len() as f64 / w.ases.len() as f64;
+        assert!(frac > 0.08 && frac < 0.25, "coverage = {frac}");
+        let (mut tech, mut nontech) = ((0usize, 0usize), (0usize, 0usize));
+        for rec in &w.ases {
+            let covered = p.network_type(rec.asn).is_some();
+            let org = w.org_of(rec.asn).unwrap();
+            let slot = if org.is_tech() { &mut tech } else { &mut nontech };
+            slot.0 += usize::from(covered);
+            slot.1 += 1;
+        }
+        let t = tech.0 as f64 / tech.1 as f64;
+        let n = nontech.0 as f64 / nontech.1 as f64;
+        assert!(t > n * 4.0, "tech {t} vs nontech {n}");
+    }
+
+    #[test]
+    fn isp_label_is_reliable() {
+        let (w, p) = setup();
+        // Of ASes PeeringDB calls ISP-ish, nearly all really are network
+        // operators — the Figure 4 high-confidence shortcut's premise.
+        let (mut right, mut n) = (0usize, 0usize);
+        for rec in &w.ases {
+            if let Some(t) = p.network_type(rec.asn) {
+                if t.is_isp_signal() {
+                    let org = w.org_of(rec.asn).unwrap();
+                    let is_net = org.truth().layer2s().iter().any(|l2| {
+                        *l2 == known::isp() || *l2 == known::ixp() || *l2 == known::phone()
+                    });
+                    right += usize::from(is_net);
+                    n += 1;
+                }
+            }
+        }
+        let rate = right as f64 / n.max(1) as f64;
+        assert!(n >= 50, "sample = {n}");
+        assert!(rate > 0.90, "ISP signal precision = {rate}");
+    }
+
+    #[test]
+    fn search_by_asn_only() {
+        let (w, p) = setup();
+        let covered_asn = w
+            .ases
+            .iter()
+            .find(|r| p.network_type(r.asn).is_some())
+            .unwrap()
+            .asn;
+        assert!(p.search(&Query::by_asn(covered_asn)).is_some());
+        assert!(p.search(&Query::by_name("whatever")).is_none());
+    }
+
+    #[test]
+    fn all_ases_of_registered_org_covered() {
+        let (w, p) = setup();
+        for rec in &w.ases {
+            let org_covered = p.lookup_org(rec.org).is_some();
+            let as_covered = p.network_type(rec.asn).is_some();
+            assert_eq!(org_covered, as_covered);
+        }
+    }
+}

@@ -1,0 +1,363 @@
+//! The shared business-registry machinery behind D&B, Crunchbase, ZoomInfo,
+//! and Clearbit: coverage sampling, label emission with calibrated
+//! confusion, and similarity-based search.
+
+use crate::profile::SourceProfile;
+use asdb_entity::name_similarity;
+use asdb_model::{Domain, OrgId, WorldSeed};
+use asdb_taxonomy::naicslite::known;
+use asdb_taxonomy::translate::{naics_candidates, naics_to_naicslite};
+use asdb_taxonomy::{CategorySet, Layer1, Layer2, NaicsCode};
+use asdb_worldgen::Organization;
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+
+/// One listed organization inside a business registry.
+#[derive(Debug, Clone)]
+pub struct RegistryEntry {
+    /// Which real organization this entry describes.
+    pub org: OrgId,
+    /// The name as listed (usually the legal name).
+    pub listed_name: String,
+    /// The domain the registry has on file.
+    pub domain: Option<Domain>,
+    /// City on file.
+    pub city: String,
+    /// The source's raw label (NAICS codes or scheme category names).
+    pub raw_label: String,
+    /// The NAICSlite translation of the label.
+    pub categories: CategorySet,
+}
+
+/// An in-memory registry with org/domain/name indexes.
+#[derive(Debug, Clone, Default)]
+pub struct BusinessRegistry {
+    entries: Vec<RegistryEntry>,
+    by_org: HashMap<OrgId, usize>,
+    by_domain: HashMap<Domain, usize>,
+}
+
+impl BusinessRegistry {
+    /// Build a registry from the organization population: `cover` decides
+    /// membership, `label` produces the stored label.
+    pub fn build(
+        orgs: &[Organization],
+        seed: WorldSeed,
+        mut cover: impl FnMut(&Organization, &mut StdRng) -> bool,
+        mut label: impl FnMut(&Organization, &mut StdRng) -> (String, CategorySet),
+    ) -> BusinessRegistry {
+        let mut reg = BusinessRegistry::default();
+        for (i, org) in orgs.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(seed.derive_index("entry", i as u64).value());
+            if !cover(org, &mut rng) {
+                continue;
+            }
+            let (raw_label, categories) = label(org, &mut rng);
+            let idx = reg.entries.len();
+            reg.entries.push(RegistryEntry {
+                org: org.id,
+                listed_name: org.legal_name.as_str().to_owned(),
+                domain: org.domain.clone(),
+                city: org.city.clone(),
+                raw_label,
+                categories,
+            });
+            reg.by_org.insert(org.id, idx);
+            if let Some(d) = &org.domain {
+                reg.by_domain.entry(d.registrable()).or_insert(idx);
+            }
+        }
+        reg
+    }
+
+    /// Number of listed organizations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Manual lookup by exact organization.
+    pub fn by_org(&self, org: OrgId) -> Option<&RegistryEntry> {
+        self.by_org.get(&org).map(|&i| &self.entries[i])
+    }
+
+    /// Exact (registrable) domain lookup.
+    pub fn by_domain(&self, domain: &Domain) -> Option<&RegistryEntry> {
+        self.by_domain
+            .get(&domain.registrable())
+            .map(|&i| &self.entries[i])
+    }
+
+    /// Best name match with its similarity score (linear scan; registries
+    /// hold a few thousand entries).
+    pub fn best_name_match(&self, name: &str) -> Option<(&RegistryEntry, f64)> {
+        self.best_two_name_match(name).map(|(e, s, _)| (e, s))
+    }
+
+    /// Best name match plus the runner-up's score — the margin between the
+    /// two is the matching engine's ambiguity signal ("there is no control
+    /// over which company is chosen if multiple companies share the same
+    /// name", §3.5; ambiguous matches get low confidence codes).
+    pub fn best_two_name_match(&self, name: &str) -> Option<(&RegistryEntry, f64, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        let mut second: f64 = 0.0;
+        for (i, e) in self.entries.iter().enumerate() {
+            let s = name_similarity(name, &e.listed_name);
+            match best {
+                Some((_, bs)) if bs >= s => {
+                    if s > second {
+                        second = s;
+                    }
+                }
+                Some((_, bs)) => {
+                    second = bs;
+                    best = Some((i, s));
+                }
+                None => best = Some((i, s)),
+            }
+        }
+        best.map(|(i, s)| (&self.entries[i], s, second))
+    }
+
+    /// Iterate entries.
+    pub fn iter(&self) -> impl Iterator<Item = &RegistryEntry> {
+        self.entries.iter()
+    }
+}
+
+/// Coverage draw for a standard profile.
+pub fn profile_covers(profile: &SourceProfile, org: &Organization, rng: &mut StdRng) -> bool {
+    let p = if org.is_tech() {
+        profile.coverage_tech
+    } else {
+        profile.coverage_nontech
+    };
+    rng.random_bool(p)
+}
+
+/// The per-class correctness probability a profile assigns to an org.
+pub fn correctness_for(profile: &SourceProfile, org: &Organization) -> f64 {
+    if org.category == known::isp() {
+        profile.l2_correct_isp
+    } else if org.category == known::hosting() {
+        profile.l2_correct_hosting
+    } else if org.is_tech() {
+        profile.l2_correct_tech
+    } else {
+        profile.l2_correct_nontech
+    }
+}
+
+/// Emit a NAICS-code label for an organization under a profile: correct
+/// with the class-specific probability, otherwise the documented confusion
+/// (interchangeable tech codes; sibling codes within the sector; a cross-
+/// sector escape at rate `1 - l1_correct`).
+pub fn emit_naics_label(
+    profile: &SourceProfile,
+    org: &Organization,
+    rng: &mut StdRng,
+) -> (String, CategorySet) {
+    // Multi-service orgs sometimes get labeled by their secondary line of
+    // business — accurate, but a source of nuanced disagreement.
+    let target: Layer2 = match org.secondary {
+        Some(s) if rng.random_bool(0.25) => s,
+        _ => org.category,
+    };
+    // Two-stage draw: first whether the layer-1 family is right (the
+    // profile's `l1_correct` is the *marginal* layer-1 accuracy), then —
+    // conditionally — whether the layer-2 subcategory is right too.
+    let l1_right = rng.random_bool(profile.l1_correct);
+    let p_l2_given_l1 =
+        (correctness_for(profile, org) / profile.l1_correct).clamp(0.0, 1.0);
+    let correct = l1_right && rng.random_bool(p_l2_given_l1);
+    let code: NaicsCode = if correct {
+        // Prefer candidates whose translation actually lands back on the
+        // target subcategory; some categories (computer security, §3.2:
+        // NAICS "has no code for computer security organizations") are
+        // inexpressible, in which case the nearest candidate is used and
+        // the label is simply imprecise — as it is for the real services.
+        let cands = naics_candidates(target);
+        let expressive: Vec<NaicsCode> = cands
+            .iter()
+            .copied()
+            .filter(|c| naics_to_naicslite(*c).layer2s().contains(&target))
+            .collect();
+        *expressive
+            .choose(rng)
+            .or_else(|| cands.first())
+            .expect("every layer2 has candidates")
+    } else if !l1_right {
+        // Cross-sector escape: a wholly wrong code.
+        random_cross_sector_code(target.layer1, rng)
+    } else if target.layer1 == Layer1::ComputerAndIT {
+        // The interchangeable-tech-code failure: ISPs and hosting providers
+        // get one of the three §3.3 codes, or the hosting/data-processing
+        // code, without regard to which subcategory is right.
+        let pool: Vec<u32> = [517911u32, 541512, 519190, 518210]
+            .into_iter()
+            .filter(|c| {
+                // Never accidentally emit a code that is actually correct.
+                !naics_to_naicslite(NaicsCode::six(*c))
+                    .layer2s()
+                    .contains(&target)
+            })
+            .collect();
+        NaicsCode::six(*pool.choose(rng).unwrap_or(&519190))
+    } else {
+        // Wrong sibling within the right sector.
+        wrong_sibling(target, rng)
+    };
+    (code.to_string(), naics_to_naicslite(code))
+}
+
+/// A code from a different layer-1 family.
+fn random_cross_sector_code(avoid: Layer1, rng: &mut StdRng) -> NaicsCode {
+    for _ in 0..32 {
+        let l1 = *Layer1::ALL.choose(rng).expect("non-empty");
+        if l1 == avoid || l1 == Layer1::Other {
+            continue;
+        }
+        let subs: Vec<Layer2> = l1.layer2_iter().collect();
+        let l2 = *subs.choose(rng).expect("non-empty");
+        if let Some(code) = naics_candidates(l2).first() {
+            return *code;
+        }
+    }
+    NaicsCode::six(541611)
+}
+
+/// A code for a *different* subcategory of the same layer-1 family.
+fn wrong_sibling(target: Layer2, rng: &mut StdRng) -> NaicsCode {
+    let siblings: Vec<Layer2> = target
+        .layer1
+        .layer2_iter()
+        .filter(|l2| *l2 != target)
+        .collect();
+    for _ in 0..16 {
+        if let Some(s) = siblings.choose(rng) {
+            let cands = naics_candidates(*s);
+            if let Some(c) = cands.choose(rng) {
+                // The candidate must not translate back onto the target.
+                if !naics_to_naicslite(*c).layer2s().contains(&target) {
+                    return *c;
+                }
+            }
+        }
+    }
+    NaicsCode::six(541611)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile;
+    use asdb_model::WorldSeed;
+    use asdb_worldgen::{World, WorldConfig};
+
+    fn world() -> World {
+        World::generate(WorldConfig::small(WorldSeed::new(77)))
+    }
+
+    fn dnb_like(w: &World) -> BusinessRegistry {
+        let p = profile::DNB;
+        BusinessRegistry::build(
+            &w.orgs,
+            WorldSeed::new(1),
+            move |o, rng| profile_covers(&p, o, rng),
+            move |o, rng| emit_naics_label(&p, o, rng),
+        )
+    }
+
+    #[test]
+    fn coverage_tracks_profile() {
+        let w = world();
+        let reg = dnb_like(&w);
+        let frac = reg.len() as f64 / w.orgs.len() as f64;
+        // Blend of 76% tech / 94% non-tech at 64% tech mix ≈ 82%.
+        assert!((frac - 0.82).abs() < 0.06, "coverage = {frac}");
+    }
+
+    #[test]
+    fn lookups_work() {
+        let w = world();
+        let reg = dnb_like(&w);
+        let entry = reg.iter().next().unwrap();
+        assert_eq!(reg.by_org(entry.org).unwrap().org, entry.org);
+        if let Some(d) = &entry.domain {
+            assert_eq!(reg.by_domain(d).unwrap().org, entry.org);
+        }
+    }
+
+    #[test]
+    fn best_name_match_finds_exact_names() {
+        let w = world();
+        let reg = dnb_like(&w);
+        let entry = reg.iter().nth(3).unwrap().clone();
+        let (found, score) = reg.best_name_match(&entry.listed_name).unwrap();
+        assert_eq!(found.org, entry.org);
+        assert!(score > 0.95);
+    }
+
+    #[test]
+    fn emission_accuracy_tracks_profile() {
+        let w = world();
+        let reg = dnb_like(&w);
+        let mut isp = (0usize, 0usize);
+        let mut hosting = (0usize, 0usize);
+        let mut nontech = (0usize, 0usize);
+        for e in reg.iter() {
+            let org = w.org(e.org).unwrap();
+            let truth = org.truth();
+            let ok = e.categories.overlaps_l2(&truth);
+            if org.category == known::isp() {
+                isp.0 += usize::from(ok);
+                isp.1 += 1;
+            } else if org.category == known::hosting() {
+                hosting.0 += usize::from(ok);
+                hosting.1 += 1;
+            } else if !org.is_tech() {
+                nontech.0 += usize::from(ok);
+                nontech.1 += 1;
+            }
+        }
+        let rate = |(a, b): (usize, usize)| a as f64 / b.max(1) as f64;
+        // Small-world tolerances are generous; the shape is what matters.
+        assert!((rate(isp) - 0.70).abs() < 0.12, "isp = {:?}", rate(isp));
+        assert!(rate(hosting) < 0.70, "hosting = {:?}", rate(hosting));
+        assert!(rate(nontech) > 0.75, "nontech = {:?}", rate(nontech));
+        assert!(rate(nontech) > rate(hosting), "hosting must be hardest");
+    }
+
+    #[test]
+    fn l1_errors_are_rare() {
+        let w = world();
+        let reg = dnb_like(&w);
+        let mut ok = 0usize;
+        let mut n = 0usize;
+        for e in reg.iter() {
+            let org = w.org(e.org).unwrap();
+            n += 1;
+            ok += usize::from(e.categories.overlaps_l1(&org.truth()));
+        }
+        let rate = ok as f64 / n as f64;
+        assert!(rate > 0.90, "l1 accuracy = {rate}");
+    }
+
+    #[test]
+    fn registry_is_deterministic() {
+        let w = world();
+        let a = dnb_like(&w);
+        let b = dnb_like(&w);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.org, y.org);
+            assert_eq!(x.raw_label, y.raw_label);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Cross-source invariants: every simulated service must behave like a
+//! *service* — deterministic, entity-consistent, and honest about its
+//! query model.
+
+use asdb_model::WorldSeed;
+use asdb_sources::clearbit::Clearbit;
+use asdb_sources::crunchbase::Crunchbase;
+use asdb_sources::dnb::Dnb;
+use asdb_sources::ipinfo::Ipinfo;
+use asdb_sources::peeringdb::PeeringDb;
+use asdb_sources::zoominfo::ZoomInfo;
+use asdb_sources::zvelo::Zvelo;
+use asdb_sources::{DataSource, Query};
+use asdb_worldgen::{World, WorldConfig};
+use std::sync::OnceLock;
+
+fn world() -> &'static World {
+    static W: OnceLock<World> = OnceLock::new();
+    W.get_or_init(|| World::generate(WorldConfig::small(WorldSeed::new(606))))
+}
+
+fn all_sources() -> Vec<Box<dyn DataSource>> {
+    let w = world();
+    let seed = WorldSeed::new(607);
+    vec![
+        Box::new(Dnb::build(w, seed)),
+        Box::new(Crunchbase::build(w, seed)),
+        Box::new(ZoomInfo::build(w, seed)),
+        Box::new(Clearbit::build(w, seed)),
+        Box::new(Zvelo::build(w, seed)),
+        Box::new(PeeringDb::build(w, seed)),
+        Box::new(Ipinfo::build(w, seed)),
+    ]
+}
+
+#[test]
+fn searches_are_deterministic() {
+    let w = world();
+    let sources = all_sources();
+    for rec in w.ases.iter().take(40) {
+        let q = Query {
+            asn: Some(rec.asn),
+            name: Some(rec.parsed.name.clone()),
+            domain: rec.parsed.candidate_domains().into_iter().next(),
+            address: rec.parsed.address.clone(),
+            phone: rec.parsed.phone.clone(),
+        };
+        for s in &sources {
+            let a = s.search(&q);
+            let b = s.search(&q);
+            assert_eq!(a, b, "{} is nondeterministic", s.id());
+        }
+    }
+}
+
+#[test]
+fn manual_lookup_never_returns_foreign_entities() {
+    let w = world();
+    for s in all_sources() {
+        for org in w.orgs.iter().take(150) {
+            if let Some(m) = s.lookup_org(org.id) {
+                if let Some(entity) = m.entity {
+                    assert_eq!(
+                        entity,
+                        org.id,
+                        "{}: manual lookup for {} returned {}",
+                        s.id(),
+                        org.id,
+                        entity
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn matches_always_carry_categories_or_nothing() {
+    let w = world();
+    for s in all_sources() {
+        for org in w.orgs.iter().take(150) {
+            if let Some(m) = s.lookup_org(org.id) {
+                assert!(
+                    !m.categories.is_empty(),
+                    "{}: empty category set in a match",
+                    s.id()
+                );
+                assert!(!m.raw_label.is_empty(), "{}: empty raw label", s.id());
+            }
+        }
+    }
+}
+
+#[test]
+fn asn_indexed_sources_ignore_name_only_queries() {
+    let w = world();
+    let pdb = PeeringDb::build(w, WorldSeed::new(607));
+    let ipinfo = Ipinfo::build(w, WorldSeed::new(607));
+    for org in w.orgs.iter().take(50) {
+        let q = Query::by_name(org.legal_name.as_str());
+        assert!(pdb.search(&q).is_none());
+        assert!(ipinfo.search(&q).is_none());
+    }
+}
+
+#[test]
+fn domain_only_sources_ignore_asn_only_queries() {
+    let w = world();
+    let zvelo = Zvelo::build(w, WorldSeed::new(607));
+    let clearbit = Clearbit::build(w, WorldSeed::new(607));
+    for rec in w.ases.iter().take(50) {
+        let q = Query::by_asn(rec.asn);
+        assert!(zvelo.search(&q).is_none());
+        assert!(clearbit.search(&q).is_none());
+    }
+}
+
+#[test]
+fn rebuilding_from_same_seed_is_identical() {
+    let w = world();
+    let a = Dnb::build(w, WorldSeed::new(99));
+    let b = Dnb::build(w, WorldSeed::new(99));
+    assert_eq!(a.len(), b.len());
+    for org in w.orgs.iter().take(100) {
+        assert_eq!(a.lookup_org(org.id), b.lookup_org(org.id));
+    }
+    // And a different seed covers a different slice of the universe.
+    let c = Dnb::build(w, WorldSeed::new(100));
+    let differs = w
+        .orgs
+        .iter()
+        .any(|o| a.lookup_org(o.id).is_some() != c.lookup_org(o.id).is_some());
+    assert!(differs, "coverage should depend on the seed");
+}

@@ -1,0 +1,192 @@
+//! Inter-labeler agreement metrics (Figure 1).
+//!
+//! "We define complete overlap to mean that both labels have the exact same
+//! set of codes, while ≥ 1 overlap is defined as having one shared label
+//! from both labelers." Figure 1 reports these two metrics at the top and
+//! low levels for both NAICS and NAICSlite; the NAICSlite system roughly
+//! halves disagreement.
+
+use crate::naics::NaicsCode;
+use crate::naicslite::CategorySet;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A labeler's label set at two granularities, abstracted over the
+/// classification system.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LabelSet {
+    /// Top-level labels (NAICS 2-digit sectors, or NAICSlite layer 1),
+    /// rendered to stable strings for system-agnostic comparison.
+    pub top: BTreeSet<String>,
+    /// Low-level labels (full NAICS codes, or NAICSlite layer 2).
+    pub low: BTreeSet<String>,
+}
+
+impl LabelSet {
+    /// Build from NAICS codes: top = 2-digit sectors, low = full codes.
+    pub fn from_naics(codes: &[NaicsCode]) -> LabelSet {
+        LabelSet {
+            top: codes.iter().map(|c| c.sector().to_string()).collect(),
+            low: codes.iter().map(|c| c.to_string()).collect(),
+        }
+    }
+
+    /// Build from NAICSlite categories: top = layer 1, low = layer 2.
+    pub fn from_naicslite(cats: &CategorySet) -> LabelSet {
+        LabelSet {
+            top: cats.layer1s().iter().map(|l| l.slug().to_owned()).collect(),
+            low: cats
+                .layer2s()
+                .iter()
+                .map(|l| format!("{}/{}", l.layer1.slug(), l.index()))
+                .collect(),
+        }
+    }
+
+    /// Whether the labeler provided any low-level refinement.
+    pub fn has_low(&self) -> bool {
+        !self.low.is_empty()
+    }
+}
+
+/// Pairwise agreement between two labelers on one AS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Agreement {
+    /// Exact same set of top-level labels.
+    pub complete_top: bool,
+    /// Exact same set of low-level labels.
+    pub complete_low: bool,
+    /// At least one shared top-level label.
+    pub any_top: bool,
+    /// At least one shared low-level label.
+    pub any_low: bool,
+}
+
+impl Agreement {
+    /// Compare two label sets.
+    pub fn between(a: &LabelSet, b: &LabelSet) -> Agreement {
+        Agreement {
+            complete_top: !a.top.is_empty() && a.top == b.top,
+            complete_low: a.has_low() && a.low == b.low,
+            any_top: a.top.intersection(&b.top).next().is_some(),
+            any_low: a.low.intersection(&b.low).next().is_some(),
+        }
+    }
+}
+
+/// Aggregated agreement fractions over a set of doubly-labeled ASes — one
+/// group of four bars in Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct AgreementStats {
+    /// Number of doubly-labeled ASes.
+    pub n: usize,
+    /// Fraction with complete top-level overlap.
+    pub complete_top: f64,
+    /// Fraction with complete low-level overlap.
+    pub complete_low: f64,
+    /// Fraction with ≥1 shared top-level label.
+    pub any_top: f64,
+    /// Fraction with ≥1 shared low-level label.
+    pub any_low: f64,
+}
+
+impl AgreementStats {
+    /// Aggregate pairwise agreements.
+    pub fn aggregate<I: IntoIterator<Item = Agreement>>(pairs: I) -> AgreementStats {
+        let mut n = 0usize;
+        let (mut ct, mut cl, mut at, mut al) = (0usize, 0usize, 0usize, 0usize);
+        for a in pairs {
+            n += 1;
+            ct += usize::from(a.complete_top);
+            cl += usize::from(a.complete_low);
+            at += usize::from(a.any_top);
+            al += usize::from(a.any_low);
+        }
+        let frac = |x: usize| if n == 0 { 0.0 } else { x as f64 / n as f64 };
+        AgreementStats {
+            n,
+            complete_top: frac(ct),
+            complete_low: frac(cl),
+            any_top: frac(at),
+            any_low: frac(al),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naicslite::{known, Layer1};
+
+    #[test]
+    fn naics_topcode_is_sector() {
+        let a = LabelSet::from_naics(&[NaicsCode::six(517911)]);
+        assert!(a.top.contains("51"));
+        assert!(a.low.contains("517911"));
+    }
+
+    #[test]
+    fn sumida_example_disagrees_low_agrees_top() {
+        // The paper's AS56885: 335911 vs 334416 — same sector (33),
+        // different codes → "no overlap in labelers' NAICS codes despite
+        // researchers sharing semantic agreement".
+        let a = LabelSet::from_naics(&[NaicsCode::six(335911)]);
+        let b = LabelSet::from_naics(&[NaicsCode::six(334416)]);
+        let agr = Agreement::between(&a, &b);
+        assert!(agr.any_top);
+        assert!(!agr.any_low);
+        assert!(!agr.complete_low);
+    }
+
+    #[test]
+    fn naicslite_collapses_the_disagreement() {
+        // Both labelers pick Manufacturing > Electronics in NAICSlite.
+        let l2 = crate::naicslite::Layer2::new(Layer1::Manufacturing, 5).unwrap();
+        let a = LabelSet::from_naicslite(&CategorySet::single(l2));
+        let b = LabelSet::from_naicslite(&CategorySet::single(l2));
+        let agr = Agreement::between(&a, &b);
+        assert!(agr.complete_top && agr.complete_low && agr.any_top && agr.any_low);
+    }
+
+    #[test]
+    fn empty_sets_never_completely_agree() {
+        let e = LabelSet::default();
+        let agr = Agreement::between(&e, &e);
+        assert!(!agr.complete_top);
+        assert!(!agr.complete_low);
+        assert!(!agr.any_top);
+    }
+
+    #[test]
+    fn layer1_only_labels_have_no_low() {
+        let a = LabelSet::from_naicslite(&CategorySet::single(Layer1::Finance));
+        assert!(!a.has_low());
+        let b = LabelSet::from_naicslite(&CategorySet::single(known::banks()));
+        let agr = Agreement::between(&a, &b);
+        assert!(agr.any_top);
+        assert!(!agr.any_low);
+    }
+
+    #[test]
+    fn stats_aggregate_fractions() {
+        let full = Agreement {
+            complete_top: true,
+            complete_low: true,
+            any_top: true,
+            any_low: true,
+        };
+        let none = Agreement {
+            complete_top: false,
+            complete_low: false,
+            any_top: false,
+            any_low: false,
+        };
+        let s = AgreementStats::aggregate([full, none, full, none]);
+        assert_eq!(s.n, 4);
+        assert!((s.complete_top - 0.5).abs() < 1e-12);
+        assert!((s.any_low - 0.5).abs() < 1e-12);
+        let empty = AgreementStats::aggregate([]);
+        assert_eq!(empty.n, 0);
+        assert_eq!(empty.any_top, 0.0);
+    }
+}

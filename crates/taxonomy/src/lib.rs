@@ -1,0 +1,37 @@
+//! # asdb-taxonomy
+//!
+//! Industry classification systems used by ASdb.
+//!
+//! The crate implements, from the paper:
+//!
+//! * **NAICS** (§3.2): the 6-digit hierarchical North American Industry
+//!   Classification System — the code type, a catalog subset with titles,
+//!   and the structural properties that make it a poor fit for Internet
+//!   measurement (redundant sibling codes, technology categories folded
+//!   together).
+//! * **NAICSlite** (§3.2 + Appendix C): the paper's simplified two-layer
+//!   system — 17 top-level ("layer 1") categories and 95 lower-layer
+//!   ("layer 2") categories. The layer-2 lists follow Appendix C verbatim;
+//!   see [`naicslite`] for the two places the printed appendix under-counts
+//!   the stated 95 and how we resolve them.
+//! * **Translation layers** (§3.2): NAICS → NAICSlite (automatic, by code
+//!   prefix, including the deliberately ambiguous codes D&B abuses), and
+//!   each external source's custom scheme → NAICSlite
+//!   (PeeringDB, IPinfo, Crunchbase, Zvelo, Clearbit).
+//! * **Agreement metrics** (Figure 1): complete-overlap and ≥1-overlap
+//!   between two labelers' label sets, at both layers, for both NAICS and
+//!   NAICSlite labels.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agreement;
+pub mod naics;
+pub mod naicslite;
+pub mod schemes;
+pub mod translate;
+
+pub use agreement::{Agreement, LabelSet};
+pub use naics::NaicsCode;
+pub use naicslite::{Category, CategorySet, Layer1, Layer2};
+pub use translate::naics_to_naicslite;

@@ -1,0 +1,810 @@
+//! The NAICSlite classification system (paper §3.2 and Appendix C).
+//!
+//! NAICSlite is the paper's two-layer simplification of NAICS: 17 top-level
+//! ("layer 1") categories and 95 lower-layer ("layer 2") categories, built
+//! by collapsing NAICS categories irrelevant to Internet measurement (163
+//! retail codes → 3 categories) and expanding the ones that matter (the
+//! single NAICS information-technology bucket → ISP / hosting / software /
+//! security / …).
+//!
+//! ## Fidelity note
+//!
+//! Appendix C as printed enumerates 91 layer-2 entries while the paper body
+//! reports 95. We close the gap with three principled expansions, each
+//! flagged inline below:
+//!
+//! 1. *Agriculture, Mining, and Refineries* is printed with a parenthetical
+//!    ("Farming, Greenhouses, Mining, Forestry, and Animal Farming") and no
+//!    bullet list; we promote the parenthetical to five layer-2 categories
+//!    plus "Other" (+6).
+//! 2. *Government and Public Administration* is the only multi-entry
+//!    category printed without an "Other"; we add one (+1).
+//! 3. *Human Rights and Social Advocacy (Human Rights, Environment and
+//!    Wildlife Conservation, Other)* carries its own parenthetical split; we
+//!    promote "Environment and Wildlife Conservation" to a sibling layer-2
+//!    category (+1), and give the top-level *Other* category an
+//!    "Uncategorized" sibling (+1).
+//!
+//! This yields exactly 17 layer-1 and 95 layer-2 categories, matching the
+//! paper's headline numbers; a unit test pins both counts.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::str::FromStr;
+
+/// A NAICSlite layer-1 (top-level) category. 17 variants (Appendix C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // Variant names mirror Appendix C titles.
+pub enum Layer1 {
+    ComputerAndIT,
+    Media,
+    Finance,
+    Education,
+    Service,
+    Agriculture,
+    Nonprofits,
+    Construction,
+    Entertainment,
+    Utilities,
+    HealthCare,
+    Travel,
+    Freight,
+    Government,
+    Retail,
+    Manufacturing,
+    Other,
+}
+
+impl Layer1 {
+    /// All 17 layer-1 categories in Appendix C order.
+    pub const ALL: [Layer1; 17] = [
+        Layer1::ComputerAndIT,
+        Layer1::Media,
+        Layer1::Finance,
+        Layer1::Education,
+        Layer1::Service,
+        Layer1::Agriculture,
+        Layer1::Nonprofits,
+        Layer1::Construction,
+        Layer1::Entertainment,
+        Layer1::Utilities,
+        Layer1::HealthCare,
+        Layer1::Travel,
+        Layer1::Freight,
+        Layer1::Government,
+        Layer1::Retail,
+        Layer1::Manufacturing,
+        Layer1::Other,
+    ];
+
+    /// The 16 "substantive" categories the paper uniformly samples over for
+    /// the Uniform Gold Standard ("uniformly sub-sampled across all 16
+    /// NAICSlite Layer 1 categories", Table 2) — everything but `Other`.
+    pub const SUBSTANTIVE: [Layer1; 16] = [
+        Layer1::ComputerAndIT,
+        Layer1::Media,
+        Layer1::Finance,
+        Layer1::Education,
+        Layer1::Service,
+        Layer1::Agriculture,
+        Layer1::Nonprofits,
+        Layer1::Construction,
+        Layer1::Entertainment,
+        Layer1::Utilities,
+        Layer1::HealthCare,
+        Layer1::Travel,
+        Layer1::Freight,
+        Layer1::Government,
+        Layer1::Retail,
+        Layer1::Manufacturing,
+    ];
+
+    /// Full Appendix C title.
+    pub fn title(self) -> &'static str {
+        match self {
+            Layer1::ComputerAndIT => "Computer and Information Technology",
+            Layer1::Media => "Media, Publishing, and Broadcasting",
+            Layer1::Finance => "Finance and Insurance",
+            Layer1::Education => "Education and Research",
+            Layer1::Service => "Service",
+            Layer1::Agriculture => "Agriculture, Mining, and Refineries",
+            Layer1::Nonprofits => "Community Groups and Nonprofits",
+            Layer1::Construction => "Construction and Real Estate",
+            Layer1::Entertainment => "Museums, Libraries, and Entertainment",
+            Layer1::Utilities => "Utilities (Excluding Internet Service)",
+            Layer1::HealthCare => "Health Care Services",
+            Layer1::Travel => "Travel and Accommodation",
+            Layer1::Freight => "Freight, Shipment, and Postal Services",
+            Layer1::Government => "Government and Public Administration",
+            Layer1::Retail => "Retail Stores, Wholesale, and E-commerce Sites",
+            Layer1::Manufacturing => "Manufacturing",
+            Layer1::Other => "Other",
+        }
+    }
+
+    /// Short stable identifier used in dataset dumps and tables.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Layer1::ComputerAndIT => "tech",
+            Layer1::Media => "media",
+            Layer1::Finance => "finance",
+            Layer1::Education => "education",
+            Layer1::Service => "service",
+            Layer1::Agriculture => "agriculture",
+            Layer1::Nonprofits => "nonprofits",
+            Layer1::Construction => "construction",
+            Layer1::Entertainment => "entertainment",
+            Layer1::Utilities => "utilities",
+            Layer1::HealthCare => "healthcare",
+            Layer1::Travel => "travel",
+            Layer1::Freight => "freight",
+            Layer1::Government => "government",
+            Layer1::Retail => "retail",
+            Layer1::Manufacturing => "manufacturing",
+            Layer1::Other => "other",
+        }
+    }
+
+    /// Whether this is the technology category — the axis the paper's
+    /// tech/non-tech breakdowns (Tables 3 and 4) split on.
+    pub fn is_tech(self) -> bool {
+        self == Layer1::ComputerAndIT
+    }
+
+    /// Names of this category's layer-2 subcategories, in Appendix C order.
+    pub fn layer2_names(self) -> &'static [&'static str] {
+        LAYER2_NAMES[self.ordinal()]
+    }
+
+    /// Number of layer-2 subcategories.
+    pub fn layer2_count(self) -> u8 {
+        self.layer2_names().len() as u8
+    }
+
+    /// Iterate this category's layer-2 categories.
+    pub fn layer2_iter(self) -> impl Iterator<Item = Layer2> {
+        (0..self.layer2_count()).map(move |i| Layer2 {
+            layer1: self,
+            index: i,
+        })
+    }
+
+    /// Position in [`Layer1::ALL`].
+    pub fn ordinal(self) -> usize {
+        Layer1::ALL
+            .iter()
+            .position(|l| *l == self)
+            .expect("Layer1::ALL is exhaustive")
+    }
+}
+
+impl fmt::Display for Layer1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.title())
+    }
+}
+
+impl FromStr for Layer1 {
+    type Err = UnknownCategory;
+
+    /// Parse either the slug or the full title (case-insensitive).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let t = s.trim();
+        Layer1::ALL
+            .iter()
+            .copied()
+            .find(|l| l.slug().eq_ignore_ascii_case(t) || l.title().eq_ignore_ascii_case(t))
+            .ok_or_else(|| UnknownCategory(t.chars().take(64).collect()))
+    }
+}
+
+/// Error returned when a category name cannot be resolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownCategory(pub String);
+
+impl fmt::Display for UnknownCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown NAICSlite category: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownCategory {}
+
+/// Layer-2 name tables, indexed by [`Layer1::ordinal`]. Appendix C verbatim,
+/// plus the three documented expansions (see module docs).
+static LAYER2_NAMES: [&[&str]; 17] = [
+    // Computer and Information Technology (10)
+    &[
+        "Internet Service Provider (ISP)",
+        "Phone Provider",
+        "Hosting, Cloud Provider, Data Center, Server Colocation",
+        "Computer and Network Security",
+        "Software Development",
+        "Technology Consulting Services",
+        "Satellite Communication",
+        "Search Engine",
+        "Internet Exchange Point (IXP)",
+        "Other",
+    ],
+    // Media, Publishing, and Broadcasting (6)
+    &[
+        "Online Music and Video Streaming Services",
+        "Online Informational Content",
+        "Print Media (Newspapers, Magazines, Books)",
+        "Music and Video Industry",
+        "Radio and Television Providers",
+        "Other",
+    ],
+    // Finance and Insurance (5)
+    &[
+        "Banks, Credit Card Companies, Mortgage Providers",
+        "Insurance Carriers and Agencies",
+        "Accountants, Tax Preparers, Payroll Services",
+        "Investment, Portfolio Management, Pensions and Funds",
+        "Other",
+    ],
+    // Education and Research (6)
+    &[
+        "Elementary and Secondary Schools",
+        "Colleges, Universities, and Professional Schools",
+        "Other Schools, Instruction, and Exam Preparation",
+        "Research and Development Organizations",
+        "Education Software",
+        "Other",
+    ],
+    // Service (5)
+    &[
+        "Law, Business, and Consulting Services",
+        "Buildings, Repair, Maintenance",
+        "Personal Care and Lifestyle",
+        "Social Assistance",
+        "Other",
+    ],
+    // Agriculture, Mining, and Refineries (6) — promoted parenthetical.
+    &[
+        "Farming and Ranching",
+        "Greenhouses and Nurseries",
+        "Mining, Quarrying, and Refineries",
+        "Forestry and Logging",
+        "Animal Production and Aquaculture",
+        "Other",
+    ],
+    // Community Groups and Nonprofits (4) — advocacy parenthetical split.
+    &[
+        "Churches and Religious Organizations",
+        "Human Rights and Social Advocacy",
+        "Environment and Wildlife Conservation",
+        "Other",
+    ],
+    // Construction and Real Estate (4)
+    &[
+        "Buildings (Residential or Commercial)",
+        "Civil Engineering Construction",
+        "Real Estate (Residential and/or Commercial)",
+        "Other",
+    ],
+    // Museums, Libraries, and Entertainment (7)
+    &[
+        "Libraries and Archives",
+        "Recreation, Sports, and Performing Arts",
+        "Amusement Parks, Arcades, Fitness Centers, Other",
+        "Museums, Historical Sites, Zoos, Nature Parks",
+        "Casinos and Gambling",
+        "Tours and Sightseeing",
+        "Other",
+    ],
+    // Utilities (Excluding Internet Service) (6)
+    &[
+        "Electric Power Generation, Transmission, Distribution",
+        "Natural Gas Distribution",
+        "Water Supply and Irrigation",
+        "Sewage Treatment",
+        "Steam and Air-Conditioning Supply",
+        "Other",
+    ],
+    // Health Care Services (4)
+    &[
+        "Hospitals and Medical Centers",
+        "Medical Laboratories and Diagnostic Centers",
+        "Nursing, Residential Care, Assisted Living, Home Health Care",
+        "Other",
+    ],
+    // Travel and Accommodation (8)
+    &[
+        "Air Travel",
+        "Railroad Travel",
+        "Water Travel",
+        "Hotels, Motels, Inns, Other Traveler Accommodation",
+        "Recreational Vehicle Parks and Campgrounds",
+        "Boarding Houses, Dormitories, Workers' Camps",
+        "Food Services and Drinking Places",
+        "Other",
+    ],
+    // Freight, Shipment, and Postal Services (8)
+    &[
+        "Postal Services and Couriers",
+        "Air Transportation",
+        "Railroad Transportation",
+        "Water Transportation",
+        "Trucking",
+        "Space, Satellites",
+        "Passenger Transit (Car, Bus, Taxi, Subway)",
+        "Other",
+    ],
+    // Government and Public Administration (4) — "Other" added.
+    &[
+        "Military, Defense, National Security, and Intl. Affairs",
+        "Law Enforcement, Public Safety, and Justice",
+        "Government and Regulatory Agencies, Administrations, Departments, and Services",
+        "Other",
+    ],
+    // Retail Stores, Wholesale, and E-commerce Sites (3)
+    &[
+        "Food, Grocery, Beverages",
+        "Clothing, Fashion, Luggage",
+        "Other",
+    ],
+    // Manufacturing (7)
+    &[
+        "Automotive and Transportation",
+        "Food, Beverage, and Tobacco",
+        "Clothing and Textiles",
+        "Machinery",
+        "Chemical and Pharmaceutical Manufacturing",
+        "Electronics and Computer Components",
+        "Other",
+    ],
+    // Other (2) — "Uncategorized" sibling added.
+    &["Individually Owned", "Uncategorized"],
+];
+
+/// A NAICSlite layer-2 category: a layer-1 category plus a subcategory index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Layer2 {
+    /// Parent layer-1 category.
+    pub layer1: Layer1,
+    /// Index into [`Layer1::layer2_names`].
+    index: u8,
+}
+
+impl Layer2 {
+    /// Build a layer-2 category, validating the index.
+    pub fn new(layer1: Layer1, index: u8) -> Option<Layer2> {
+        (index < layer1.layer2_count()).then_some(Layer2 { layer1, index })
+    }
+
+    /// The subcategory index within the parent.
+    pub fn index(self) -> u8 {
+        self.index
+    }
+
+    /// The Appendix C name of this subcategory.
+    pub fn name(self) -> &'static str {
+        self.layer1.layer2_names()[self.index as usize]
+    }
+
+    /// Whether this is the parent category's "Other" bucket.
+    pub fn is_other(self) -> bool {
+        self.name() == "Other"
+    }
+
+    /// Find a layer-2 category by (case-insensitive, substring-tolerant)
+    /// name under a given parent.
+    pub fn by_name(layer1: Layer1, name: &str) -> Option<Layer2> {
+        let needle = name.trim().to_lowercase();
+        layer1
+            .layer2_iter()
+            .find(|l2| l2.name().to_lowercase() == needle)
+            .or_else(|| {
+                layer1
+                    .layer2_iter()
+                    .find(|l2| l2.name().to_lowercase().contains(&needle))
+            })
+    }
+
+    /// Iterate all 95 layer-2 categories in Appendix C order.
+    pub fn all() -> impl Iterator<Item = Layer2> {
+        Layer1::ALL.into_iter().flat_map(Layer1::layer2_iter)
+    }
+}
+
+impl fmt::Display for Layer2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} > {}", self.layer1.title(), self.name())
+    }
+}
+
+/// Well-known layer-2 categories referenced throughout the system.
+pub mod known {
+    use super::{Layer1, Layer2};
+
+    /// Build a constant-like accessor; panics only on programmer error.
+    fn l2(l1: Layer1, idx: u8) -> Layer2 {
+        Layer2::new(l1, idx).expect("static index valid")
+    }
+
+    /// Computer and IT > Internet Service Provider (ISP).
+    pub fn isp() -> Layer2 {
+        l2(Layer1::ComputerAndIT, 0)
+    }
+    /// Computer and IT > Phone Provider.
+    pub fn phone() -> Layer2 {
+        l2(Layer1::ComputerAndIT, 1)
+    }
+    /// Computer and IT > Hosting, Cloud Provider, Data Center, Colocation.
+    pub fn hosting() -> Layer2 {
+        l2(Layer1::ComputerAndIT, 2)
+    }
+    /// Computer and IT > Computer and Network Security.
+    pub fn security() -> Layer2 {
+        l2(Layer1::ComputerAndIT, 3)
+    }
+    /// Computer and IT > Software Development.
+    pub fn software() -> Layer2 {
+        l2(Layer1::ComputerAndIT, 4)
+    }
+    /// Computer and IT > Technology Consulting Services.
+    pub fn tech_consulting() -> Layer2 {
+        l2(Layer1::ComputerAndIT, 5)
+    }
+    /// Computer and IT > Satellite Communication.
+    pub fn satellite() -> Layer2 {
+        l2(Layer1::ComputerAndIT, 6)
+    }
+    /// Computer and IT > Search Engine.
+    pub fn search_engine() -> Layer2 {
+        l2(Layer1::ComputerAndIT, 7)
+    }
+    /// Computer and IT > Internet Exchange Point (IXP).
+    pub fn ixp() -> Layer2 {
+        l2(Layer1::ComputerAndIT, 8)
+    }
+    /// Computer and IT > Other.
+    pub fn tech_other() -> Layer2 {
+        l2(Layer1::ComputerAndIT, 9)
+    }
+    /// Education > Colleges, Universities, and Professional Schools.
+    pub fn universities() -> Layer2 {
+        l2(Layer1::Education, 1)
+    }
+    /// Education > Research and Development Organizations.
+    pub fn research_orgs() -> Layer2 {
+        l2(Layer1::Education, 3)
+    }
+    /// Finance > Banks, Credit Card Companies, Mortgage Providers.
+    pub fn banks() -> Layer2 {
+        l2(Layer1::Finance, 0)
+    }
+    /// Finance > Insurance Carriers and Agencies.
+    pub fn insurance() -> Layer2 {
+        l2(Layer1::Finance, 1)
+    }
+    /// Utilities > Electric Power Generation, Transmission, Distribution.
+    pub fn electric() -> Layer2 {
+        l2(Layer1::Utilities, 0)
+    }
+    /// Government > Government and Regulatory Agencies, ….
+    pub fn gov_agencies() -> Layer2 {
+        l2(Layer1::Government, 2)
+    }
+    /// Media > Online Informational Content.
+    pub fn online_content() -> Layer2 {
+        l2(Layer1::Media, 1)
+    }
+}
+
+/// A classification label: always a layer-1 category, optionally refined to
+/// layer 2. ("We note that NAICSlite layer 2 coverage can be greater than
+/// NAICSlite layer 1 coverage" — some gold-standard entries only carry a
+/// layer-1 label, Table 8 notes.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Category {
+    /// The layer-1 category.
+    pub layer1: Layer1,
+    /// Optional layer-2 refinement; its `layer1` always equals `self.layer1`.
+    pub layer2: Option<Layer2>,
+}
+
+impl Category {
+    /// A layer-1-only label.
+    pub fn l1(layer1: Layer1) -> Category {
+        Category {
+            layer1,
+            layer2: None,
+        }
+    }
+
+    /// A fully refined label.
+    pub fn l2(layer2: Layer2) -> Category {
+        Category {
+            layer1: layer2.layer1,
+            layer2: Some(layer2),
+        }
+    }
+
+    /// Whether the label carries a layer-2 refinement.
+    pub fn has_layer2(self) -> bool {
+        self.layer2.is_some()
+    }
+
+    /// Drop the layer-2 refinement.
+    pub fn coarsened(self) -> Category {
+        Category::l1(self.layer1)
+    }
+
+    /// Whether this is a technology label.
+    pub fn is_tech(self) -> bool {
+        self.layer1.is_tech()
+    }
+}
+
+impl From<Layer1> for Category {
+    fn from(l: Layer1) -> Self {
+        Category::l1(l)
+    }
+}
+
+impl From<Layer2> for Category {
+    fn from(l: Layer2) -> Self {
+        Category::l2(l)
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.layer2 {
+            Some(l2) => l2.fmt(f),
+            None => self.layer1.fmt(f),
+        }
+    }
+}
+
+/// An ordered set of [`Category`] labels, as applied by one labeler or one
+/// data source to one AS. ("80% of data source matches assign only one
+/// category and a maximum of seven categories are assigned to a single AS",
+/// §3.3.)
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CategorySet {
+    labels: BTreeSet<Category>,
+}
+
+impl CategorySet {
+    /// Empty set.
+    pub fn new() -> CategorySet {
+        CategorySet::default()
+    }
+
+    /// Singleton set.
+    pub fn single(cat: impl Into<Category>) -> CategorySet {
+        let mut s = CategorySet::new();
+        s.insert(cat.into());
+        s
+    }
+
+    /// Insert a label.
+    pub fn insert(&mut self, cat: impl Into<Category>) {
+        self.labels.insert(cat.into());
+    }
+
+    /// Number of labels.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Iterate the labels.
+    pub fn iter(&self) -> impl Iterator<Item = Category> + '_ {
+        self.labels.iter().copied()
+    }
+
+    /// The distinct layer-1 categories present.
+    pub fn layer1s(&self) -> BTreeSet<Layer1> {
+        self.labels.iter().map(|c| c.layer1).collect()
+    }
+
+    /// The distinct layer-2 categories present (labels without a layer-2
+    /// refinement contribute nothing).
+    pub fn layer2s(&self) -> BTreeSet<Layer2> {
+        self.labels.iter().filter_map(|c| c.layer2).collect()
+    }
+
+    /// Whether any label is a technology label.
+    pub fn any_tech(&self) -> bool {
+        self.labels.iter().any(|c| c.is_tech())
+    }
+
+    /// Whether any layer-1 category is shared with `other`.
+    pub fn overlaps_l1(&self, other: &CategorySet) -> bool {
+        let mine = self.layer1s();
+        other.layer1s().iter().any(|l| mine.contains(l))
+    }
+
+    /// Whether any layer-2 category is shared with `other`.
+    pub fn overlaps_l2(&self, other: &CategorySet) -> bool {
+        let mine = self.layer2s();
+        other.layer2s().iter().any(|l| mine.contains(l))
+    }
+
+    /// Union of two sets.
+    pub fn union(&self, other: &CategorySet) -> CategorySet {
+        CategorySet {
+            labels: self.labels.union(&other.labels).copied().collect(),
+        }
+    }
+
+    /// The labels whose layer-1 appears in both sets — the "union of the
+    /// overlapping data sources' categories" ASdb returns on agreement
+    /// (§5.1), restricted to agreed layer-1 categories.
+    pub fn agreed_with(&self, other: &CategorySet) -> CategorySet {
+        let shared: BTreeSet<Layer1> = self
+            .layer1s()
+            .intersection(&other.layer1s())
+            .copied()
+            .collect();
+        CategorySet {
+            labels: self
+                .labels
+                .union(&other.labels)
+                .copied()
+                .filter(|c| shared.contains(&c.layer1))
+                .collect(),
+        }
+    }
+
+    /// Whether both sets contain exactly the same labels.
+    pub fn complete_overlap(&self, other: &CategorySet) -> bool {
+        self.labels == other.labels
+    }
+}
+
+impl FromIterator<Category> for CategorySet {
+    fn from_iter<T: IntoIterator<Item = Category>>(iter: T) -> Self {
+        CategorySet {
+            labels: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl fmt::Display for CategorySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for c in self.iter() {
+            if !first {
+                f.write_str("; ")?;
+            }
+            write!(f, "{c}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_17_layer1_and_95_layer2() {
+        assert_eq!(Layer1::ALL.len(), 17);
+        assert_eq!(Layer2::all().count(), 95, "paper reports 95 subcategories");
+    }
+
+    #[test]
+    fn at_most_9_layer2_per_layer1() {
+        // "up to 9 lower-layer categories per top level" (§3.2). Our
+        // Computer&IT list has 10 entries including "Other"; the paper's
+        // "9" counts substantive subcategories, excluding the Other bucket.
+        for l1 in Layer1::ALL {
+            let substantive = l1.layer2_iter().filter(|l2| !l2.is_other()).count();
+            assert!(substantive <= 9, "{l1:?} has {substantive} substantive subcategories");
+        }
+    }
+
+    #[test]
+    fn substantive_excludes_other() {
+        assert_eq!(Layer1::SUBSTANTIVE.len(), 16);
+        assert!(!Layer1::SUBSTANTIVE.contains(&Layer1::Other));
+    }
+
+    #[test]
+    fn ordinals_are_consistent() {
+        for (i, l1) in Layer1::ALL.iter().enumerate() {
+            assert_eq!(l1.ordinal(), i);
+        }
+    }
+
+    #[test]
+    fn slug_roundtrip() {
+        for l1 in Layer1::ALL {
+            assert_eq!(l1.slug().parse::<Layer1>().unwrap(), l1);
+            assert_eq!(l1.title().parse::<Layer1>().unwrap(), l1);
+        }
+        assert!("bogus".parse::<Layer1>().is_err());
+    }
+
+    #[test]
+    fn layer2_validation() {
+        assert!(Layer2::new(Layer1::Retail, 2).is_some());
+        assert!(Layer2::new(Layer1::Retail, 3).is_none());
+        assert_eq!(known::isp().name(), "Internet Service Provider (ISP)");
+        assert!(known::isp().layer1.is_tech());
+    }
+
+    #[test]
+    fn layer2_by_name() {
+        let l2 = Layer2::by_name(Layer1::ComputerAndIT, "hosting").unwrap();
+        assert_eq!(l2, known::hosting());
+        let exact = Layer2::by_name(Layer1::Retail, "Other").unwrap();
+        assert!(exact.is_other());
+        assert!(Layer2::by_name(Layer1::Retail, "spaceships").is_none());
+    }
+
+    #[test]
+    fn category_coarsening() {
+        let c = Category::l2(known::hosting());
+        assert!(c.has_layer2());
+        assert!(c.is_tech());
+        let coarse = c.coarsened();
+        assert!(!coarse.has_layer2());
+        assert_eq!(coarse.layer1, Layer1::ComputerAndIT);
+    }
+
+    #[test]
+    fn category_set_overlap_semantics() {
+        let mut a = CategorySet::new();
+        a.insert(known::isp());
+        a.insert(Layer1::Media);
+        let mut b = CategorySet::new();
+        b.insert(known::hosting());
+        assert!(a.overlaps_l1(&b)); // both have ComputerAndIT at L1
+        assert!(!a.overlaps_l2(&b)); // ISP != hosting at L2
+        let mut c = CategorySet::new();
+        c.insert(Layer1::Finance);
+        assert!(!a.overlaps_l1(&c));
+    }
+
+    #[test]
+    fn agreed_with_returns_union_restricted_to_shared_l1() {
+        let mut dnb = CategorySet::new();
+        dnb.insert(known::isp());
+        dnb.insert(Layer1::Finance);
+        let mut zvelo = CategorySet::new();
+        zvelo.insert(known::hosting());
+        let agreed = dnb.agreed_with(&zvelo);
+        // Finance is not shared, so only the tech labels survive; both
+        // tech labels (union) are returned.
+        assert_eq!(agreed.layer1s().len(), 1);
+        assert_eq!(agreed.layer2s().len(), 2);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            Category::l2(known::isp()).to_string(),
+            "Computer and Information Technology > Internet Service Provider (ISP)"
+        );
+        let set = CategorySet::single(Layer1::Finance);
+        assert_eq!(set.to_string(), "Finance and Insurance");
+    }
+
+    #[test]
+    fn all_layer2_names_unique_within_parent() {
+        for l1 in Layer1::ALL {
+            let names: BTreeSet<&str> = l1.layer2_names().iter().copied().collect();
+            assert_eq!(names.len(), l1.layer2_names().len(), "{l1:?} has duplicate subcategories");
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = Category::l2(known::hosting());
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Category = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,578 @@
+//! Per-source custom classification schemes and their NAICSlite mappings.
+//!
+//! "Clearbit, Crunchbase, PeeringDB, and Zvelo provide their own
+//! organization classification systems … We translate other data sources'
+//! custom classification schemes into NAICSlite using a manual process, with
+//! each mapping reviewed by at least two researchers" (§3.2).
+//!
+//! PeeringDB and IPinfo have small, fixed schemes that pipeline logic
+//! branches on (e.g. the "PeeringDB returns an ISP label" high-confidence
+//! shortcut in Figure 4), so they are enums. Crunchbase, Zvelo, and Clearbit
+//! have larger schemes modeled as tables of named categories, each carrying
+//! the manually-reviewed NAICSlite mapping.
+
+use crate::naicslite::{known, Category, CategorySet, Layer1, Layer2};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// PeeringDB
+// ---------------------------------------------------------------------------
+
+/// PeeringDB's six self-reported network types (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PeeringDbType {
+    /// "Cable/DSL/ISP"
+    CableDslIsp,
+    /// "Network Service Provider"
+    NetworkServiceProvider,
+    /// "Content"
+    Content,
+    /// "Education/Research"
+    EducationResearch,
+    /// "Enterprise"
+    Enterprise,
+    /// "Non-profit"
+    NonProfit,
+}
+
+impl PeeringDbType {
+    /// All six types.
+    pub const ALL: [PeeringDbType; 6] = [
+        PeeringDbType::CableDslIsp,
+        PeeringDbType::NetworkServiceProvider,
+        PeeringDbType::Content,
+        PeeringDbType::EducationResearch,
+        PeeringDbType::Enterprise,
+        PeeringDbType::NonProfit,
+    ];
+
+    /// Display name as registered operators see it.
+    pub fn name(self) -> &'static str {
+        match self {
+            PeeringDbType::CableDslIsp => "Cable/DSL/ISP",
+            PeeringDbType::NetworkServiceProvider => "Network Service Provider",
+            PeeringDbType::Content => "Content",
+            PeeringDbType::EducationResearch => "Education/Research",
+            PeeringDbType::Enterprise => "Enterprise",
+            PeeringDbType::NonProfit => "Non-profit",
+        }
+    }
+
+    /// The reviewed NAICSlite mapping used when ASdb ingests a PeeringDB
+    /// label.
+    pub fn to_naicslite(self) -> CategorySet {
+        match self {
+            PeeringDbType::CableDslIsp | PeeringDbType::NetworkServiceProvider => {
+                CategorySet::single(known::isp())
+            }
+            PeeringDbType::Content => {
+                let mut s = CategorySet::single(known::hosting());
+                s.insert(known::online_content());
+                s
+            }
+            PeeringDbType::EducationResearch => {
+                let mut s = CategorySet::single(known::universities());
+                s.insert(known::research_orgs());
+                s
+            }
+            PeeringDbType::Enterprise => CategorySet::single(Layer1::Service),
+            PeeringDbType::NonProfit => CategorySet::single(Layer1::Nonprofits),
+        }
+    }
+
+    /// Whether this label is the ISP signal the Figure 4 pipeline treats as
+    /// a high-confidence match ("only if PeeringDB returns an ISP label").
+    pub fn is_isp_signal(self) -> bool {
+        matches!(
+            self,
+            PeeringDbType::CableDslIsp | PeeringDbType::NetworkServiceProvider
+        )
+    }
+
+    /// The §5.2 comparison mapping: PeeringDB types projected onto IPinfo's
+    /// four-way scheme ("we map PeeringDB's content, enterprise and
+    /// non-profit, education, and all remaining categories to IPinfo's
+    /// hosting, business, education, and ISP categories, respectively").
+    pub fn comparison_class(self) -> IpinfoType {
+        match self {
+            PeeringDbType::Content => IpinfoType::Hosting,
+            PeeringDbType::Enterprise | PeeringDbType::NonProfit => IpinfoType::Business,
+            PeeringDbType::EducationResearch => IpinfoType::Education,
+            _ => IpinfoType::Isp,
+        }
+    }
+}
+
+impl fmt::Display for PeeringDbType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// IPinfo
+// ---------------------------------------------------------------------------
+
+/// IPinfo's four-way AS classification (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IpinfoType {
+    /// Internet service provider.
+    Isp,
+    /// Hosting / cloud provider.
+    Hosting,
+    /// Educational institution.
+    Education,
+    /// Everything else.
+    Business,
+}
+
+impl IpinfoType {
+    /// All four types.
+    pub const ALL: [IpinfoType; 4] = [
+        IpinfoType::Isp,
+        IpinfoType::Hosting,
+        IpinfoType::Education,
+        IpinfoType::Business,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            IpinfoType::Isp => "isp",
+            IpinfoType::Hosting => "hosting",
+            IpinfoType::Education => "education",
+            IpinfoType::Business => "business",
+        }
+    }
+
+    /// Reviewed NAICSlite mapping for ingestion.
+    pub fn to_naicslite(self) -> CategorySet {
+        match self {
+            IpinfoType::Isp => CategorySet::single(known::isp()),
+            IpinfoType::Hosting => CategorySet::single(known::hosting()),
+            IpinfoType::Education => CategorySet::single(known::universities()),
+            // "Business" is deliberately broad: a bare layer-1-less marker
+            // is unrepresentable, so the mapping is the generic Service L1.
+            IpinfoType::Business => CategorySet::single(Layer1::Service),
+        }
+    }
+
+    /// The §5.2 evaluation projection: NAICSlite → IPinfo's scheme. "We map
+    /// IPinfo and NAICSlite's hosting, ISP, and education categories to each
+    /// other, and also map all other 92 NAICSlite categories to IPinfo's
+    /// business."
+    pub fn project(cats: &CategorySet) -> Option<IpinfoType> {
+        if cats.is_empty() {
+            return None;
+        }
+        let l2s = cats.layer2s();
+        if l2s.contains(&known::isp()) {
+            Some(IpinfoType::Isp)
+        } else if l2s.contains(&known::hosting()) {
+            Some(IpinfoType::Hosting)
+        } else if cats.layer1s().contains(&Layer1::Education) {
+            Some(IpinfoType::Education)
+        } else {
+            Some(IpinfoType::Business)
+        }
+    }
+}
+
+impl fmt::Display for IpinfoType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table-driven schemes: Crunchbase, Zvelo, Clearbit
+// ---------------------------------------------------------------------------
+
+/// A category in a table-driven custom scheme, with its reviewed NAICSlite
+/// mapping.
+#[derive(Debug, Clone)]
+pub struct SchemeCategory {
+    /// The source's own category name.
+    pub name: &'static str,
+    /// NAICSlite categories this maps to: `(Layer1, Some(index))` for a
+    /// layer-2 mapping, `(Layer1, None)` for layer-1 only.
+    pub targets: &'static [(Layer1, Option<u8>)],
+}
+
+impl SchemeCategory {
+    /// Materialize the NAICSlite mapping.
+    pub fn to_naicslite(&self) -> CategorySet {
+        let mut set = CategorySet::new();
+        for (l1, idx) in self.targets {
+            match idx {
+                Some(i) => {
+                    if let Some(l2) = Layer2::new(*l1, *i) {
+                        set.insert(Category::l2(l2));
+                    }
+                }
+                None => set.insert(Category::l1(*l1)),
+            }
+        }
+        set
+    }
+}
+
+/// A named custom classification scheme.
+#[derive(Debug, Clone)]
+pub struct Scheme {
+    /// The owning data source's name.
+    pub source: &'static str,
+    /// Its categories.
+    pub categories: &'static [SchemeCategory],
+}
+
+impl Scheme {
+    /// Look up a category by name (case-insensitive).
+    pub fn category(&self, name: &str) -> Option<&SchemeCategory> {
+        self.categories
+            .iter()
+            .find(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Scheme categories whose mapping covers the given NAICSlite category —
+    /// the candidates a source drawing from this scheme could emit for an
+    /// organization of that type.
+    pub fn covering(&self, cat: Category) -> Vec<&SchemeCategory> {
+        self.categories
+            .iter()
+            .filter(|c| {
+                let set = c.to_naicslite();
+                match cat.layer2 {
+                    Some(l2) => set.layer2s().contains(&l2),
+                    None => set.layer1s().contains(&cat.layer1),
+                }
+            })
+            .collect()
+    }
+
+    /// Scheme categories that at least share the layer-1 category.
+    pub fn covering_l1(&self, l1: Layer1) -> Vec<&SchemeCategory> {
+        self.categories
+            .iter()
+            .filter(|c| c.to_naicslite().layer1s().contains(&l1))
+            .collect()
+    }
+}
+
+use Layer1::*;
+
+macro_rules! cat {
+    ($name:literal => $($l1:ident $idx:tt),+) => {
+        SchemeCategory {
+            name: $name,
+            targets: &[$( ($l1, cat!(@idx $idx)) ),+],
+        }
+    };
+    (@idx _) => { None };
+    (@idx $i:literal) => { Some($i) };
+}
+
+/// Crunchbase's category groups (a representative subset of the real ~45;
+/// Crunchbase "focuses more on startups and specifically US companies").
+pub static CRUNCHBASE: Scheme = Scheme {
+    source: "Crunchbase",
+    categories: &[
+        cat!("Internet Services" => ComputerAndIT 0, ComputerAndIT 2, ComputerAndIT 9),
+        cat!("Information Technology" => ComputerAndIT 9, ComputerAndIT 4),
+        cat!("Software" => ComputerAndIT 4),
+        cat!("Privacy and Security" => ComputerAndIT 3),
+        cat!("Hardware" => Manufacturing 5),
+        cat!("Telecommunications" => ComputerAndIT 0, ComputerAndIT 1, ComputerAndIT 6),
+        cat!("Cloud Infrastructure" => ComputerAndIT 2),
+        cat!("Search Engine" => ComputerAndIT 7),
+        cat!("Consulting" => Service 0, ComputerAndIT 5),
+        cat!("Media and Entertainment" => Media _, Entertainment _),
+        cat!("Music and Audio" => Media 0, Media 3),
+        cat!("Video" => Media 0, Media 3),
+        cat!("Publishing" => Media 2),
+        cat!("Financial Services" => Finance _),
+        cat!("Banking" => Finance 0),
+        cat!("Insurance" => Finance 1),
+        cat!("Payments" => Finance 4),
+        cat!("Venture Capital" => Finance 3),
+        cat!("Education" => Education _),
+        cat!("EdTech" => Education 4),
+        cat!("Science and Engineering" => Education 3),
+        cat!("Health Care" => HealthCare _),
+        cat!("Biotechnology" => HealthCare 1, Manufacturing 4),
+        cat!("Agriculture and Farming" => Agriculture 0, Agriculture 4),
+        cat!("Mining" => Agriculture 2),
+        cat!("Energy" => Utilities 0, Agriculture 2),
+        cat!("Natural Resources" => Agriculture 2, Agriculture 3),
+        cat!("Real Estate" => Construction 2),
+        cat!("Construction" => Construction 0, Construction 1),
+        cat!("Government and Military" => Government _),
+        cat!("Non Profit" => Nonprofits _),
+        cat!("Transportation" => Freight _, Travel _),
+        cat!("Logistics" => Freight 4, Freight 0),
+        cat!("Travel and Tourism" => Travel _),
+        cat!("Food and Beverage" => Travel 6, Manufacturing 1),
+        cat!("Retail" => Retail _),
+        cat!("E-Commerce" => Retail 2),
+        cat!("Fashion" => Retail 1, Manufacturing 2),
+        cat!("Manufacturing" => Manufacturing _),
+        cat!("Automotive" => Manufacturing 0),
+        cat!("Sports" => Entertainment 1),
+        cat!("Gaming" => Entertainment 4, ComputerAndIT 4),
+        cat!("Utilities" => Utilities _),
+        cat!("Professional Services" => Service 0),
+        cat!("Events" => Entertainment 1, Service 4),
+    ],
+};
+
+/// Zvelo's website-content categories (a representative subset of its 100+;
+/// Zvelo "runs an existing production-grade machine learning classifier
+/// whose goal is to differentiate between over 100 business categories").
+pub static ZVELO: Scheme = Scheme {
+    source: "Zvelo",
+    categories: &[
+        cat!("Internet Services" => ComputerAndIT 0, ComputerAndIT 9),
+        cat!("Telephony" => ComputerAndIT 1),
+        cat!("Web Hosting" => ComputerAndIT 2),
+        cat!("Content Delivery" => ComputerAndIT 2, Media 0),
+        cat!("Computer and Internet Security" => ComputerAndIT 3),
+        cat!("Software Downloads" => ComputerAndIT 4),
+        cat!("Technology (General)" => ComputerAndIT 9, ComputerAndIT 5),
+        cat!("Search Engines and Portals" => ComputerAndIT 7),
+        cat!("Streaming Media" => Media 0),
+        cat!("News and Media" => Media 1, Media 2),
+        cat!("Television and Video" => Media 4, Media 3),
+        cat!("Radio" => Media 4),
+        cat!("Banking" => Finance 0),
+        cat!("Finance and Insurance" => Finance _),
+        cat!("Accounting" => Finance 2),
+        cat!("Investing" => Finance 3),
+        cat!("Education" => Education _),
+        cat!("Universities and Colleges" => Education 1),
+        cat!("K-12 Schools" => Education 0),
+        cat!("Research Institutions" => Education 3),
+        cat!("Legal Services" => Service 0),
+        cat!("Business Services" => Service 0, Service 4),
+        cat!("Home and Garden" => Service 1),
+        cat!("Beauty and Personal Care" => Service 2),
+        cat!("Social Services" => Service 3),
+        cat!("Agriculture" => Agriculture 0, Agriculture 4),
+        cat!("Oil, Gas and Mining" => Agriculture 2),
+        cat!("Religion" => Nonprofits 0),
+        cat!("Advocacy Organizations" => Nonprofits 1, Nonprofits 2),
+        cat!("Non-Profit and NGOs" => Nonprofits 3),
+        cat!("Real Estate" => Construction 2),
+        cat!("Construction and Engineering" => Construction 0, Construction 1),
+        cat!("Museums and Libraries" => Entertainment 0, Entertainment 3),
+        cat!("Sports and Recreation" => Entertainment 1, Entertainment 2),
+        cat!("Gambling" => Entertainment 4),
+        cat!("Utilities and Energy" => Utilities _),
+        cat!("Health and Medicine" => HealthCare _),
+        cat!("Hospitals" => HealthCare 0),
+        cat!("Travel" => Travel _),
+        cat!("Hotels and Accommodation" => Travel 3),
+        cat!("Restaurants and Dining" => Travel 6),
+        cat!("Shipping and Logistics" => Freight _),
+        cat!("Postal Services" => Freight 0),
+        cat!("Government" => Government _),
+        cat!("Military" => Government 0),
+        cat!("Law Enforcement" => Government 1),
+        cat!("Shopping" => Retail _),
+        cat!("Groceries" => Retail 0),
+        cat!("Fashion and Apparel" => Retail 1, Manufacturing 2),
+        cat!("Manufacturing (General)" => Manufacturing _),
+        cat!("Automotive Industry" => Manufacturing 0),
+        cat!("Pharmaceuticals" => Manufacturing 4),
+        cat!("Electronics" => Manufacturing 5),
+        cat!("Personal Pages and Blogs" => Other 0),
+        cat!("Parked Domains" => Other 1),
+    ],
+};
+
+/// Clearbit's scheme: 2-digit NAICS sector prefixes plus custom tags
+/// ("Clearbit provides 2-digit NAICS prefixes and their own custom system",
+/// Table 1). The 2-digit granularity is what makes Clearbit's tech recall so
+/// poor (6%, Table 4): sector 51 alone cannot distinguish ISPs from TV
+/// stations.
+pub static CLEARBIT: Scheme = Scheme {
+    source: "Clearbit",
+    categories: &[
+        // Sector-level entries — deliberately coarse.
+        cat!("51" => Media 5),
+        cat!("52" => Finance 4),
+        cat!("54" => Service 0),
+        cat!("61" => Education 5),
+        cat!("62" => HealthCare 3),
+        cat!("22" => Utilities 5),
+        cat!("23" => Construction 3),
+        cat!("31-33" => Manufacturing 6),
+        cat!("44-45" => Retail 2),
+        cat!("48-49" => Freight 7),
+        cat!("11" => Agriculture 5),
+        cat!("21" => Agriculture 2),
+        cat!("53" => Construction 2),
+        cat!("56" => Service 4),
+        cat!("71" => Entertainment 6),
+        cat!("72" => Travel 7),
+        cat!("81" => Service 4, Nonprofits 3),
+        cat!("92" => Government 3),
+        // Custom tags.
+        cat!("internet" => ComputerAndIT 9),
+        cat!("telecommunications" => ComputerAndIT 0, ComputerAndIT 1),
+        cat!("information_technology_and_services" => ComputerAndIT 5, ComputerAndIT 9),
+        cat!("computer_software" => ComputerAndIT 4),
+        cat!("financial_services" => Finance 4),
+        cat!("higher_education" => Education 1),
+        cat!("hospital_and_health_care" => HealthCare 0),
+        cat!("government_administration" => Government 2),
+        cat!("nonprofit_organization_management" => Nonprofits 3),
+    ],
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peeringdb_isp_signal() {
+        assert!(PeeringDbType::CableDslIsp.is_isp_signal());
+        assert!(PeeringDbType::NetworkServiceProvider.is_isp_signal());
+        assert!(!PeeringDbType::Content.is_isp_signal());
+    }
+
+    #[test]
+    fn peeringdb_mappings_are_sensible() {
+        assert!(PeeringDbType::CableDslIsp
+            .to_naicslite()
+            .layer2s()
+            .contains(&known::isp()));
+        assert!(PeeringDbType::Content
+            .to_naicslite()
+            .layer2s()
+            .contains(&known::hosting()));
+        assert!(PeeringDbType::EducationResearch
+            .to_naicslite()
+            .layer1s()
+            .contains(&Layer1::Education));
+    }
+
+    #[test]
+    fn peeringdb_comparison_projection() {
+        assert_eq!(
+            PeeringDbType::Content.comparison_class(),
+            IpinfoType::Hosting
+        );
+        assert_eq!(
+            PeeringDbType::Enterprise.comparison_class(),
+            IpinfoType::Business
+        );
+        assert_eq!(
+            PeeringDbType::CableDslIsp.comparison_class(),
+            IpinfoType::Isp
+        );
+    }
+
+    #[test]
+    fn ipinfo_projection_of_naicslite() {
+        assert_eq!(
+            IpinfoType::project(&CategorySet::single(known::isp())),
+            Some(IpinfoType::Isp)
+        );
+        assert_eq!(
+            IpinfoType::project(&CategorySet::single(known::hosting())),
+            Some(IpinfoType::Hosting)
+        );
+        assert_eq!(
+            IpinfoType::project(&CategorySet::single(Layer1::Finance)),
+            Some(IpinfoType::Business)
+        );
+        assert_eq!(IpinfoType::project(&CategorySet::new()), None);
+        // ISP takes precedence over hosting when both are present.
+        let mut both = CategorySet::single(known::isp());
+        both.insert(known::hosting());
+        assert_eq!(IpinfoType::project(&both), Some(IpinfoType::Isp));
+    }
+
+    #[test]
+    fn scheme_lookup_is_case_insensitive() {
+        assert!(CRUNCHBASE.category("banking").is_some());
+        assert!(ZVELO.category("WEB HOSTING").is_some());
+        assert!(CLEARBIT.category("nope").is_none());
+    }
+
+    #[test]
+    fn scheme_mappings_materialize() {
+        let c = ZVELO.category("Web Hosting").unwrap();
+        assert!(c.to_naicslite().layer2s().contains(&known::hosting()));
+        let c = CRUNCHBASE.category("Internet Services").unwrap();
+        let set = c.to_naicslite();
+        assert!(set.layer2s().contains(&known::isp()));
+        assert!(set.layer2s().contains(&known::hosting()));
+    }
+
+    #[test]
+    fn every_layer1_is_coverable_by_each_big_scheme() {
+        for scheme in [&CRUNCHBASE, &ZVELO] {
+            for l1 in Layer1::SUBSTANTIVE {
+                assert!(
+                    !scheme.covering_l1(l1).is_empty(),
+                    "{} cannot express {l1:?}",
+                    scheme.source
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn covering_finds_specific_categories() {
+        let covers = ZVELO.covering(Category::l2(known::hosting()));
+        assert!(covers.iter().any(|c| c.name == "Web Hosting"));
+        let covers = CRUNCHBASE.covering(Category::l2(known::banks()));
+        assert!(covers.iter().any(|c| c.name == "Banking"));
+    }
+
+    #[test]
+    fn scheme_category_names_unique() {
+        for scheme in [&CRUNCHBASE, &ZVELO, &CLEARBIT] {
+            let mut seen = std::collections::HashSet::new();
+            for c in scheme.categories {
+                assert!(
+                    seen.insert(c.name),
+                    "{} has duplicate category {}",
+                    scheme.source,
+                    c.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_scheme_targets_are_valid_layer2_indices() {
+        for scheme in [&CRUNCHBASE, &ZVELO, &CLEARBIT] {
+            for c in scheme.categories {
+                let set = c.to_naicslite();
+                // Every target with Some(idx) must have materialized.
+                let expected = c.targets.len();
+                assert!(
+                    set.len() <= expected,
+                    "{}/{} lost targets",
+                    scheme.source,
+                    c.name
+                );
+                assert!(!set.is_empty(), "{}/{} maps to nothing", scheme.source, c.name);
+                // And none may have been silently dropped by Layer2::new.
+                for (l1, idx) in c.targets {
+                    if let Some(i) = idx {
+                        assert!(
+                            Layer2::new(*l1, *i).is_some(),
+                            "{}/{} has invalid index {i} for {l1:?}",
+                            scheme.source,
+                            c.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

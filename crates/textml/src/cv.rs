@@ -1,0 +1,201 @@
+//! K-fold cross-validation for text pipelines.
+//!
+//! The paper reports single-split test numbers (Table 6); cross-validation
+//! quantifies the variance behind them and drives the ensemble-size
+//! ablation. Folds are assigned deterministically by a seeded shuffle so CV
+//! results are reproducible.
+
+use crate::metrics::Metrics;
+use crate::pipeline::{PipelineConfig, TextPipeline};
+use asdb_model::WorldSeed;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// One fold's held-out metrics.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FoldResult {
+    /// Fold index.
+    pub fold: usize,
+    /// Held-out accuracy at the 0.5 threshold.
+    pub accuracy: f64,
+    /// Held-out ROC AUC.
+    pub auc: f64,
+}
+
+/// Aggregated cross-validation output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CvResult {
+    /// Per-fold results.
+    pub folds: Vec<FoldResult>,
+}
+
+impl CvResult {
+    /// Mean held-out accuracy.
+    pub fn mean_accuracy(&self) -> f64 {
+        mean(self.folds.iter().map(|f| f.accuracy))
+    }
+
+    /// Mean held-out AUC.
+    pub fn mean_auc(&self) -> f64 {
+        mean(self.folds.iter().map(|f| f.auc))
+    }
+
+    /// Sample standard deviation of fold accuracies.
+    pub fn accuracy_std(&self) -> f64 {
+        std_dev(self.folds.iter().map(|f| f.accuracy))
+    }
+}
+
+fn mean(xs: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = xs.collect();
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+fn std_dev(xs: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = xs.collect();
+    if v.len() < 2 {
+        return 0.0;
+    }
+    let m = v.iter().sum::<f64>() / v.len() as f64;
+    (v.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (v.len() - 1) as f64).sqrt()
+}
+
+/// Run k-fold cross-validation of a [`TextPipeline`] over labeled docs.
+///
+/// Panics if `docs` and `labels` lengths differ or `k < 2`.
+pub fn cross_validate(
+    docs: &[&str],
+    labels: &[bool],
+    k: usize,
+    config: PipelineConfig,
+    seed: WorldSeed,
+) -> CvResult {
+    assert_eq!(docs.len(), labels.len(), "docs and labels must be parallel");
+    assert!(k >= 2, "k-fold needs k >= 2");
+    let mut order: Vec<usize> = (0..docs.len()).collect();
+    let mut rng = StdRng::seed_from_u64(seed.derive("cv-shuffle").value());
+    order.shuffle(&mut rng);
+
+    let mut folds = Vec::with_capacity(k);
+    for fold in 0..k {
+        let test_idx: Vec<usize> = order
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % k == fold)
+            .map(|(_, &x)| x)
+            .collect();
+        let train_idx: Vec<usize> = order
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % k != fold)
+            .map(|(_, &x)| x)
+            .collect();
+        if test_idx.is_empty() || train_idx.is_empty() {
+            continue;
+        }
+        let train_docs: Vec<&str> = train_idx.iter().map(|&i| docs[i]).collect();
+        let train_labels: Vec<bool> = train_idx.iter().map(|&i| labels[i]).collect();
+        let model = TextPipeline::fit(
+            &train_docs,
+            &train_labels,
+            config.clone(),
+            seed.derive_index("cv-fold", fold as u64),
+        );
+        let mut scores = Vec::with_capacity(test_idx.len());
+        let mut truth = Vec::with_capacity(test_idx.len());
+        let mut pred = Vec::with_capacity(test_idx.len());
+        for &i in &test_idx {
+            let p = model.predict_proba(docs[i]);
+            scores.push(p);
+            truth.push(labels[i]);
+            pred.push(p > 0.5);
+        }
+        folds.push(FoldResult {
+            fold,
+            accuracy: Metrics::accuracy(&truth, &pred),
+            auc: Metrics::roc_auc(&scores, &truth),
+        });
+    }
+    CvResult { folds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PipelineConfig;
+
+    fn corpus() -> (Vec<&'static str>, Vec<bool>) {
+        let pos = [
+            "fiber broadband internet provider coverage plans residential",
+            "internet service provider broadband dsl network plans",
+            "wireless broadband rural internet coverage provider",
+            "gigabit fiber plans broadband internet residential coverage",
+            "broadband provider fiber internet plans dsl coverage",
+            "regional internet provider fiber coverage broadband plans",
+            "internet provider broadband unlimited plans fiber network",
+            "fiber internet coverage plans broadband provider network",
+        ];
+        let neg = [
+            "commercial banking accounts loans mortgages branches",
+            "university campus students faculty research degrees",
+            "hospital patient care clinic medical doctors emergency",
+            "farm fresh produce organic agriculture harvest crops",
+            "law firm attorneys litigation corporate counsel legal",
+            "museum exhibits collections tours art history tickets",
+            "hotel rooms reservations guests suites amenities stay",
+            "grocery supermarket fresh food beverages produce aisles",
+        ];
+        let docs: Vec<&str> = pos.iter().chain(neg.iter()).copied().collect();
+        let labels: Vec<bool> = (0..docs.len()).map(|i| i < pos.len()).collect();
+        (docs, labels)
+    }
+
+    fn cfg() -> PipelineConfig {
+        let mut cfg = PipelineConfig::asdb_default();
+        cfg.vectorizer.min_df = 1;
+        cfg.sgd.epochs = 40;
+        cfg.n_members = 1;
+        cfg
+    }
+
+    #[test]
+    fn four_fold_cv_on_separable_data() {
+        let (docs, labels) = corpus();
+        let cv = cross_validate(&docs, &labels, 4, cfg(), WorldSeed::new(1));
+        assert_eq!(cv.folds.len(), 4);
+        assert!(cv.mean_accuracy() > 0.8, "mean acc = {}", cv.mean_accuracy());
+        assert!(cv.mean_auc() > 0.85, "mean auc = {}", cv.mean_auc());
+        assert!(cv.accuracy_std() < 0.35);
+    }
+
+    #[test]
+    fn cv_is_deterministic() {
+        let (docs, labels) = corpus();
+        let a = cross_validate(&docs, &labels, 4, cfg(), WorldSeed::new(2));
+        let b = cross_validate(&docs, &labels, 4, cfg(), WorldSeed::new(2));
+        for (x, y) in a.folds.iter().zip(&b.folds) {
+            assert_eq!(x.accuracy, y.accuracy);
+            assert_eq!(x.auc, y.auc);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k-fold needs k >= 2")]
+    fn rejects_k1() {
+        let (docs, labels) = corpus();
+        let _ = cross_validate(&docs, &labels, 1, cfg(), WorldSeed::new(3));
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let cv = CvResult { folds: vec![] };
+        assert_eq!(cv.mean_accuracy(), 0.0);
+        assert_eq!(cv.accuracy_std(), 0.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! # asdb-textml
+//!
+//! A from-scratch text-classification stack implementing the paper's ML
+//! pipeline (Figure 3):
+//!
+//! > "our pipeline converts the text into a vector of word counts, and uses
+//! > a TF IDF (Term Frequency Inverse Document Frequency) transformer to
+//! > convert the text into features by computing the relative importance of
+//! > each word found in the text. The features are then used as inputs into
+//! > two Stochastic Gradient Descent classifiers — often used in text
+//! > classification due to their scalability."
+//!
+//! Components:
+//!
+//! * [`tokenize`]: lower-casing word tokenizer with an English stopword
+//!   list,
+//! * [`vectorize`]: vocabulary building and sparse count vectors,
+//! * [`tfidf`]: smoothed IDF weighting with L2 normalization
+//!   (scikit-learn-compatible formulas, since the original pipeline is
+//!   scikit-learn),
+//! * [`sgd`]: binary linear classifiers trained by stochastic gradient
+//!   descent (log-loss or hinge, L2 regularization, optional averaging),
+//!   plus a seeded bagging [`sgd::SgdEnsemble`],
+//! * [`metrics`]: accuracy, precision/recall/F1, confusion matrices, and
+//!   rank-based ROC AUC,
+//! * [`pipeline`]: the end-to-end text → verdict classifier used by ASdb's
+//!   ISP and hosting detectors.
+//!
+//! Everything is implemented directly over `Vec`/sparse pairs — no external
+//! ML or linear-algebra dependencies ("thin NLP/ML ecosystem" is exactly
+//! the gap this crate fills).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cv;
+pub mod metrics;
+pub mod pipeline;
+pub mod sgd;
+pub mod tfidf;
+pub mod tokenize;
+pub mod vectorize;
+
+pub use cv::{cross_validate, CvResult};
+pub use metrics::{BinaryConfusion, Metrics};
+pub use pipeline::TextPipeline;
+pub use sgd::{Loss, SgdClassifier, SgdEnsemble};
+pub use tfidf::TfidfTransformer;
+pub use vectorize::{CountVectorizer, SparseVec};

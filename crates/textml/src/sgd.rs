@@ -1,0 +1,346 @@
+//! Binary linear classifiers trained by stochastic gradient descent, and a
+//! seeded bagging ensemble — the "SGD Classifier Ensemble" box of Figure 3.
+//!
+//! Supports the two scikit-learn `SGDClassifier` losses relevant here:
+//! logistic loss (gives calibrated probabilities for AUC) and hinge loss
+//! (linear SVM). Training uses the `optimal`-style decaying learning rate
+//! `eta_t = 1 / (alpha * (t0 + t))` with L2 regularization and optional
+//! iterate averaging, and shuffles samples each epoch with a caller-seeded
+//! RNG so runs are reproducible.
+
+use crate::vectorize::SparseVec;
+use asdb_model::WorldSeed;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Loss function for [`SgdClassifier`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Loss {
+    /// Logistic regression loss; `predict_proba` is calibrated.
+    Log,
+    /// Hinge loss (linear SVM); probabilities are sigmoid-squashed margins.
+    Hinge,
+}
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SgdConfig {
+    /// Loss function.
+    pub loss: Loss,
+    /// L2 regularization strength (scikit-learn's `alpha`).
+    pub alpha: f32,
+    /// Number of passes over the data.
+    pub epochs: usize,
+    /// Whether to average iterates (ASGD), which stabilizes sparse text
+    /// problems.
+    pub average: bool,
+}
+
+impl Default for SgdConfig {
+    fn default() -> Self {
+        SgdConfig {
+            loss: Loss::Log,
+            alpha: 1e-4,
+            epochs: 20,
+            average: true,
+        }
+    }
+}
+
+/// A trained binary linear classifier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SgdClassifier {
+    weights: Vec<f32>,
+    bias: f32,
+    config: SgdConfig,
+}
+
+impl SgdClassifier {
+    /// Train on `(x, y)` pairs, `y ∈ {false, true}`. `n_features` bounds the
+    /// weight vector; features at or beyond it are ignored.
+    ///
+    /// Panics if `xs` and `ys` have different lengths (programmer error).
+    pub fn fit(
+        xs: &[SparseVec],
+        ys: &[bool],
+        n_features: usize,
+        config: SgdConfig,
+        seed: WorldSeed,
+    ) -> SgdClassifier {
+        assert_eq!(xs.len(), ys.len(), "xs and ys must be parallel");
+        let mut w = vec![0.0f32; n_features];
+        let mut b = 0.0f32;
+        let mut w_avg = vec![0.0f32; n_features];
+        let mut b_avg = 0.0f32;
+        let mut n_avg = 0u64;
+
+        let mut rng = StdRng::seed_from_u64(seed.value());
+        let mut order: Vec<usize> = (0..xs.len()).collect();
+        let mut t: u64 = 1;
+        // "optimal" schedule t0, approximating scikit-learn's heuristic.
+        let t0 = 1.0 / (config.alpha.max(1e-8) as f64);
+
+        for _ in 0..config.epochs {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                let x = &xs[i];
+                let y = if ys[i] { 1.0f32 } else { -1.0 };
+                let eta = (1.0 / (config.alpha as f64 * (t0 + t as f64))) as f32;
+                let margin = x.dot(&w) + b;
+                // L2 shrink (applied multiplicatively, leaving bias alone).
+                let shrink = 1.0 - eta * config.alpha;
+                if shrink > 0.0 {
+                    for wi in &mut w {
+                        *wi *= shrink;
+                    }
+                }
+                let dloss = match config.loss {
+                    Loss::Log => {
+                        // d/dmargin of log(1 + exp(-y*m)) = -y * sigma(-y*m)
+                        let z = (-y * margin) as f64;
+                        let s = 1.0 / (1.0 + (-z).exp());
+                        (-y as f64 * s) as f32
+                    }
+                    Loss::Hinge => {
+                        if y * margin < 1.0 {
+                            -y
+                        } else {
+                            0.0
+                        }
+                    }
+                };
+                if dloss != 0.0 {
+                    for (j, v) in x.iter() {
+                        if (j as usize) < w.len() {
+                            w[j as usize] -= eta * dloss * v;
+                        }
+                    }
+                    b -= eta * dloss;
+                }
+                if config.average {
+                    n_avg += 1;
+                    let k = 1.0 / n_avg as f32;
+                    for (wa, wi) in w_avg.iter_mut().zip(&w) {
+                        *wa += k * (*wi - *wa);
+                    }
+                    b_avg += k * (b - b_avg);
+                }
+                t += 1;
+            }
+        }
+        let (weights, bias) = if config.average && n_avg > 0 {
+            (w_avg, b_avg)
+        } else {
+            (w, b)
+        };
+        SgdClassifier {
+            weights,
+            bias,
+            config,
+        }
+    }
+
+    /// The raw decision margin (distance from the separating hyperplane).
+    pub fn decision(&self, x: &SparseVec) -> f32 {
+        x.dot(&self.weights) + self.bias
+    }
+
+    /// Hard classification.
+    pub fn predict(&self, x: &SparseVec) -> bool {
+        self.decision(x) > 0.0
+    }
+
+    /// Probability of the positive class (sigmoid of the margin; calibrated
+    /// only for [`Loss::Log`]).
+    pub fn predict_proba(&self, x: &SparseVec) -> f32 {
+        let m = self.decision(x) as f64;
+        (1.0 / (1.0 + (-m).exp())) as f32
+    }
+
+    /// Number of features the model was trained with.
+    pub fn n_features(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Largest-magnitude positive-class features, for interpretability.
+    pub fn top_features(&self, k: usize) -> Vec<(u32, f32)> {
+        let mut idx: Vec<(u32, f32)> = self
+            .weights
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (i as u32, *w))
+            .collect();
+        idx.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        idx.truncate(k);
+        idx
+    }
+}
+
+/// A bagging ensemble of [`SgdClassifier`]s trained with different shuffle
+/// seeds; prediction averages member probabilities.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SgdEnsemble {
+    members: Vec<SgdClassifier>,
+}
+
+impl SgdEnsemble {
+    /// Train `n_members` classifiers with derived seeds.
+    pub fn fit(
+        xs: &[SparseVec],
+        ys: &[bool],
+        n_features: usize,
+        config: SgdConfig,
+        seed: WorldSeed,
+        n_members: usize,
+    ) -> SgdEnsemble {
+        let members = (0..n_members)
+            .map(|i| {
+                SgdClassifier::fit(
+                    xs,
+                    ys,
+                    n_features,
+                    config.clone(),
+                    seed.derive_index("sgd-member", i as u64),
+                )
+            })
+            .collect();
+        SgdEnsemble { members }
+    }
+
+    /// Mean member probability.
+    pub fn predict_proba(&self, x: &SparseVec) -> f32 {
+        if self.members.is_empty() {
+            return 0.5;
+        }
+        self.members.iter().map(|m| m.predict_proba(x)).sum::<f32>() / self.members.len() as f32
+    }
+
+    /// Hard classification at the 0.5 threshold.
+    pub fn predict(&self, x: &SparseVec) -> bool {
+        self.predict_proba(x) > 0.5
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the ensemble has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Linearly separable toy data: positive docs use features {0,1},
+    /// negative docs use features {2,3}.
+    fn toy() -> (Vec<SparseVec>, Vec<bool>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..40 {
+            let pos = i % 2 == 0;
+            let f = if pos { [(0u32, 1.0f32), (1, 1.0)] } else { [(2, 1.0), (3, 1.0)] };
+            // add slight per-sample variation
+            let mut pairs = f.to_vec();
+            pairs.push((4 + (i % 3) as u32, 0.5));
+            xs.push(SparseVec::from_pairs(pairs));
+            ys.push(pos);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn learns_separable_data_log() {
+        let (xs, ys) = toy();
+        let clf = SgdClassifier::fit(&xs, &ys, 8, SgdConfig::default(), WorldSeed::new(1));
+        let correct = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, y)| clf.predict(x) == **y)
+            .count();
+        assert!(correct >= 38, "only {correct}/40 correct");
+    }
+
+    #[test]
+    fn learns_separable_data_hinge() {
+        let (xs, ys) = toy();
+        let cfg = SgdConfig {
+            loss: Loss::Hinge,
+            ..SgdConfig::default()
+        };
+        let clf = SgdClassifier::fit(&xs, &ys, 8, cfg, WorldSeed::new(2));
+        let correct = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, y)| clf.predict(x) == **y)
+            .count();
+        assert!(correct >= 38, "only {correct}/40 correct");
+    }
+
+    #[test]
+    fn probabilities_ordered_by_margin() {
+        let (xs, ys) = toy();
+        let clf = SgdClassifier::fit(&xs, &ys, 8, SgdConfig::default(), WorldSeed::new(3));
+        let pos = SparseVec::from_pairs(vec![(0, 1.0), (1, 1.0)]);
+        let neg = SparseVec::from_pairs(vec![(2, 1.0), (3, 1.0)]);
+        assert!(clf.predict_proba(&pos) > 0.5);
+        assert!(clf.predict_proba(&neg) < 0.5);
+        assert!(clf.predict_proba(&pos) > clf.predict_proba(&neg));
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let (xs, ys) = toy();
+        let a = SgdClassifier::fit(&xs, &ys, 8, SgdConfig::default(), WorldSeed::new(7));
+        let b = SgdClassifier::fit(&xs, &ys, 8, SgdConfig::default(), WorldSeed::new(7));
+        let x = SparseVec::from_pairs(vec![(0, 1.0)]);
+        assert_eq!(a.decision(&x), b.decision(&x));
+    }
+
+    #[test]
+    fn top_features_point_positive() {
+        let (xs, ys) = toy();
+        let clf = SgdClassifier::fit(&xs, &ys, 8, SgdConfig::default(), WorldSeed::new(4));
+        let top: Vec<u32> = clf.top_features(2).into_iter().map(|(i, _)| i).collect();
+        assert!(top.contains(&0) || top.contains(&1), "top features {top:?}");
+    }
+
+    #[test]
+    fn ensemble_agrees_with_members_on_easy_data() {
+        let (xs, ys) = toy();
+        let ens = SgdEnsemble::fit(&xs, &ys, 8, SgdConfig::default(), WorldSeed::new(5), 5);
+        assert_eq!(ens.len(), 5);
+        let pos = SparseVec::from_pairs(vec![(0, 1.0), (1, 1.0)]);
+        assert!(ens.predict(&pos));
+        let neg = SparseVec::from_pairs(vec![(2, 1.0), (3, 1.0)]);
+        assert!(!ens.predict(&neg));
+    }
+
+    #[test]
+    fn empty_ensemble_is_uninformative() {
+        let ens = SgdEnsemble { members: vec![] };
+        assert!(ens.is_empty());
+        let x = SparseVec::from_pairs(vec![(0, 1.0)]);
+        assert_eq!(ens.predict_proba(&x), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel")]
+    fn mismatched_lengths_panic() {
+        let (xs, _) = toy();
+        let _ = SgdClassifier::fit(&xs, &[true], 8, SgdConfig::default(), WorldSeed::new(1));
+    }
+
+    #[test]
+    fn empty_training_set_gives_zero_model() {
+        let clf = SgdClassifier::fit(&[], &[], 4, SgdConfig::default(), WorldSeed::new(1));
+        let x = SparseVec::from_pairs(vec![(0, 1.0)]);
+        assert_eq!(clf.decision(&x), 0.0);
+        assert!(!clf.predict(&x));
+    }
+}

@@ -1,0 +1,153 @@
+//! TF-IDF weighting — the "TF ID Transformer" box of Figure 3.
+//!
+//! Formulas match scikit-learn's `TfidfTransformer` defaults (the paper's
+//! pipeline is scikit-learn based): smoothed IDF
+//! `idf(t) = ln((1 + n) / (1 + df(t))) + 1`, followed by L2 normalization
+//! of each document vector.
+
+use crate::vectorize::SparseVec;
+use serde::{Deserialize, Serialize};
+
+/// Fitted IDF weights.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TfidfTransformer {
+    idf: Vec<f32>,
+}
+
+impl TfidfTransformer {
+    /// Fit IDF weights from count vectors.
+    pub fn fit(vectors: &[SparseVec]) -> TfidfTransformer {
+        let n_features = vectors
+            .iter()
+            .flat_map(|v| v.iter().map(|(i, _)| i as usize + 1))
+            .max()
+            .unwrap_or(0);
+        let mut df = vec![0usize; n_features];
+        for v in vectors {
+            for (i, _) in v.iter() {
+                df[i as usize] += 1;
+            }
+        }
+        let n = vectors.len() as f64;
+        let idf = df
+            .into_iter()
+            .map(|d| (((1.0 + n) / (1.0 + d as f64)).ln() + 1.0) as f32)
+            .collect();
+        TfidfTransformer { idf }
+    }
+
+    /// Transform a count vector into an L2-normalized TF-IDF vector.
+    /// Features unseen at fit time get the maximum IDF (df = 0 smoothing).
+    pub fn transform(&self, v: &SparseVec) -> SparseVec {
+        let default_idf = if self.idf.is_empty() {
+            1.0
+        } else {
+            // df=0 smoothed idf for the fitted corpus size is the max.
+            self.idf.iter().copied().fold(1.0f32, f32::max)
+        };
+        let mut weighted = v.map_values(|i, tf| {
+            let idf = self
+                .idf
+                .get(i as usize)
+                .copied()
+                .unwrap_or(default_idf);
+            tf * idf
+        });
+        let norm = weighted.norm();
+        if norm > 0.0 {
+            weighted.scale(1.0 / norm);
+        }
+        weighted
+    }
+
+    /// Fit on a corpus and return the transformed corpus.
+    pub fn fit_transform(vectors: &[SparseVec]) -> (TfidfTransformer, Vec<SparseVec>) {
+        let t = TfidfTransformer::fit(vectors);
+        let out = vectors.iter().map(|v| t.transform(v)).collect();
+        (t, out)
+    }
+
+    /// Number of fitted features.
+    pub fn n_features(&self) -> usize {
+        self.idf.len()
+    }
+
+    /// The fitted IDF for a feature, if in range.
+    pub fn idf(&self, feature: u32) -> Option<f32> {
+        self.idf.get(feature as usize).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn counts(pairs: &[(u32, f32)]) -> SparseVec {
+        SparseVec::from_pairs(pairs.to_vec())
+    }
+
+    #[test]
+    fn idf_downweights_common_terms() {
+        // Feature 0 appears in all 4 docs, feature 1 in one doc.
+        let docs = vec![
+            counts(&[(0, 1.0), (1, 1.0)]),
+            counts(&[(0, 1.0)]),
+            counts(&[(0, 1.0)]),
+            counts(&[(0, 1.0)]),
+        ];
+        let t = TfidfTransformer::fit(&docs);
+        assert!(t.idf(0).unwrap() < t.idf(1).unwrap());
+        // Smoothed formula: common term idf = ln(5/5)+1 = 1.
+        assert!((t.idf(0).unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transform_is_l2_normalized() {
+        let docs = vec![counts(&[(0, 3.0), (1, 1.0)]), counts(&[(1, 2.0)])];
+        let (t, xs) = TfidfTransformer::fit_transform(&docs);
+        for x in &xs {
+            assert!((x.norm() - 1.0).abs() < 1e-5);
+        }
+        assert_eq!(t.n_features(), 2);
+    }
+
+    #[test]
+    fn zero_vector_stays_zero() {
+        let docs = vec![counts(&[(0, 1.0)])];
+        let t = TfidfTransformer::fit(&docs);
+        let z = t.transform(&SparseVec::default());
+        assert!(z.is_empty());
+    }
+
+    #[test]
+    fn unseen_feature_gets_max_idf() {
+        let docs = vec![counts(&[(0, 1.0)]), counts(&[(0, 1.0), (1, 1.0)])];
+        let t = TfidfTransformer::fit(&docs);
+        let x = t.transform(&counts(&[(7, 1.0)]));
+        // Still produces a normalized non-empty vector.
+        assert_eq!(x.nnz(), 1);
+        assert!((x.norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_fit_is_harmless() {
+        let t = TfidfTransformer::fit(&[]);
+        assert_eq!(t.n_features(), 0);
+        let x = t.transform(&counts(&[(0, 2.0)]));
+        assert_eq!(x.nnz(), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn transform_norm_is_unit_or_zero(
+            pairs in proptest::collection::vec((0u32..30, 1.0f32..5.0), 0..20)
+        ) {
+            let docs = vec![counts(&[(0, 1.0)]), counts(&[(1, 1.0), (2, 1.0)])];
+            let t = TfidfTransformer::fit(&docs);
+            let x = t.transform(&SparseVec::from_pairs(pairs));
+            let n = x.norm();
+            prop_assert!(n == 0.0 || (n - 1.0).abs() < 1e-4);
+        }
+    }
+}

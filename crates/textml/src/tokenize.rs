@@ -1,0 +1,95 @@
+//! Word tokenization and stopword filtering.
+
+/// English stopwords filtered before vectorization. A compact list tuned
+/// for the web-page text the scraper produces; matching scikit-learn's
+/// default of *not* stemming.
+pub static STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "all", "also", "an", "and", "any", "are", "as",
+    "at", "be", "because", "been", "before", "being", "below", "between", "both", "but", "by",
+    "can", "could", "did", "do", "does", "doing", "down", "during", "each", "few", "for",
+    "from", "further", "had", "has", "have", "having", "he", "her", "here", "hers", "him",
+    "his", "how", "i", "if", "in", "into", "is", "it", "its", "just", "me", "more", "most",
+    "my", "no", "nor", "not", "now", "of", "off", "on", "once", "only", "or", "other", "our",
+    "ours", "out", "over", "own", "same", "she", "should", "so", "some", "such", "than",
+    "that", "the", "their", "theirs", "them", "then", "there", "these", "they", "this",
+    "those", "through", "to", "too", "under", "until", "up", "very", "was", "we", "were",
+    "what", "when", "where", "which", "while", "who", "whom", "why", "will", "with", "you",
+    "your", "yours",
+];
+
+/// Whether a token is a stopword.
+pub fn is_stopword(token: &str) -> bool {
+    STOPWORDS.binary_search(&token).is_ok()
+}
+
+/// Tokenize text into lower-cased alphanumeric words of length ≥ 2,
+/// dropping stopwords and pure numbers. This mirrors scikit-learn's
+/// `CountVectorizer` default token pattern (`\w\w+`) plus stopword removal.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for raw in text.split(|c: char| !c.is_alphanumeric()) {
+        if raw.len() < 2 {
+            continue;
+        }
+        let tok = raw.to_lowercase();
+        if tok.bytes().all(|b| b.is_ascii_digit()) {
+            continue;
+        }
+        if is_stopword(&tok) {
+            continue;
+        }
+        out.push(tok);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn stopwords_are_sorted_for_binary_search() {
+        let mut sorted = STOPWORDS.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, STOPWORDS, "STOPWORDS must stay sorted");
+    }
+
+    #[test]
+    fn basic_tokenization() {
+        assert_eq!(
+            tokenize("We provide the BEST fiber internet!"),
+            vec!["provide", "best", "fiber", "internet"]
+        );
+    }
+
+    #[test]
+    fn numbers_and_short_tokens_dropped() {
+        assert_eq!(tokenize("24 7 support at x"), vec!["support"]);
+        assert_eq!(tokenize("ipv6 24x7"), vec!["ipv6", "24x7"]);
+    }
+
+    #[test]
+    fn unicode_safe() {
+        let toks = tokenize("Schnelles Internet für Zuhause");
+        assert!(toks.contains(&"schnelles".to_owned()));
+        assert!(toks.contains(&"für".to_owned()));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("  \t\n ").is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn never_panics_and_tokens_are_clean(s in ".{0,400}") {
+            for t in tokenize(&s) {
+                prop_assert!(t.len() >= 2);
+                prop_assert!(!is_stopword(&t));
+                prop_assert_eq!(t.clone(), t.to_lowercase());
+            }
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! Vocabulary building and sparse count vectors.
+
+use crate::tokenize::tokenize;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A sparse feature vector: sorted `(feature_index, value)` pairs.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SparseVec {
+    entries: Vec<(u32, f32)>,
+}
+
+impl SparseVec {
+    /// Build from unsorted pairs; duplicate indices are summed.
+    pub fn from_pairs(mut pairs: Vec<(u32, f32)>) -> SparseVec {
+        pairs.sort_unstable_by_key(|(i, _)| *i);
+        let mut entries: Vec<(u32, f32)> = Vec::with_capacity(pairs.len());
+        for (i, v) in pairs {
+            match entries.last_mut() {
+                Some((li, lv)) if *li == i => *lv += v,
+                _ => entries.push((i, v)),
+            }
+        }
+        entries.retain(|(_, v)| *v != 0.0);
+        SparseVec { entries }
+    }
+
+    /// The sorted entries.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, f32)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Number of non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the vector is all-zero.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Dot product against a dense weight vector. Indices beyond the dense
+    /// length contribute nothing (allows vocabulary growth tolerance).
+    pub fn dot(&self, dense: &[f32]) -> f32 {
+        self.entries
+            .iter()
+            .filter(|(i, _)| (*i as usize) < dense.len())
+            .map(|(i, v)| dense[*i as usize] * v)
+            .sum()
+    }
+
+    /// L2 norm.
+    pub fn norm(&self) -> f32 {
+        self.entries
+            .iter()
+            .map(|(_, v)| v * v)
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Scale all values in place.
+    pub fn scale(&mut self, s: f32) {
+        for (_, v) in &mut self.entries {
+            *v *= s;
+        }
+    }
+
+    /// Map values through a function (e.g. IDF weighting).
+    pub fn map_values(&self, mut f: impl FnMut(u32, f32) -> f32) -> SparseVec {
+        SparseVec {
+            entries: self
+                .entries
+                .iter()
+                .map(|(i, v)| (*i, f(*i, *v)))
+                .filter(|(_, v)| *v != 0.0)
+                .collect(),
+        }
+    }
+}
+
+/// Configuration for [`CountVectorizer`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VectorizerConfig {
+    /// Keep at most this many features, by collection frequency.
+    pub max_features: usize,
+    /// Drop tokens appearing in fewer than this many documents.
+    pub min_df: usize,
+    /// Drop tokens appearing in more than this fraction of documents.
+    pub max_df_ratio: f64,
+}
+
+impl Default for VectorizerConfig {
+    fn default() -> Self {
+        VectorizerConfig {
+            max_features: 20_000,
+            min_df: 2,
+            max_df_ratio: 0.95,
+        }
+    }
+}
+
+/// Converts raw text into sparse word-count vectors over a fitted
+/// vocabulary — the "Count Vectorizer" box of Figure 3.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CountVectorizer {
+    vocab: HashMap<String, u32>,
+    config: VectorizerConfig,
+}
+
+impl CountVectorizer {
+    /// New, unfitted vectorizer.
+    pub fn new(config: VectorizerConfig) -> CountVectorizer {
+        CountVectorizer {
+            vocab: HashMap::new(),
+            config,
+        }
+    }
+
+    /// Fit the vocabulary on a corpus and return the transformed corpus.
+    pub fn fit_transform(&mut self, docs: &[&str]) -> Vec<SparseVec> {
+        self.fit(docs);
+        docs.iter().map(|d| self.transform(d)).collect()
+    }
+
+    /// Fit the vocabulary: tokenize every document, apply document-frequency
+    /// filters, keep the `max_features` most frequent tokens, and assign
+    /// indices in deterministic (frequency-desc, then lexicographic) order.
+    pub fn fit(&mut self, docs: &[&str]) {
+        let mut doc_freq: HashMap<String, usize> = HashMap::new();
+        let mut coll_freq: HashMap<String, usize> = HashMap::new();
+        for d in docs {
+            let toks = tokenize(d);
+            let mut seen: Vec<&String> = Vec::new();
+            for t in &toks {
+                *coll_freq.entry(t.clone()).or_insert(0) += 1;
+                if !seen.contains(&t) {
+                    seen.push(t);
+                }
+            }
+            for t in seen {
+                *doc_freq.entry(t.clone()).or_insert(0) += 1;
+            }
+        }
+        let n_docs = docs.len().max(1);
+        // Proportional max_df truncates like scikit-learn's int(ratio * n).
+        let max_df = (self.config.max_df_ratio * n_docs as f64) as usize;
+        let mut candidates: Vec<(String, usize)> = coll_freq
+            .into_iter()
+            .filter(|(t, _)| {
+                let df = doc_freq.get(t).copied().unwrap_or(0);
+                df >= self.config.min_df && df <= max_df
+            })
+            .collect();
+        candidates.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        candidates.truncate(self.config.max_features);
+        self.vocab = candidates
+            .into_iter()
+            .enumerate()
+            .map(|(i, (t, _))| (t, i as u32))
+            .collect();
+    }
+
+    /// Transform one document into a count vector over the fitted
+    /// vocabulary. Unknown tokens are ignored.
+    pub fn transform(&self, doc: &str) -> SparseVec {
+        let pairs: Vec<(u32, f32)> = tokenize(doc)
+            .into_iter()
+            .filter_map(|t| self.vocab.get(&t).map(|&i| (i, 1.0)))
+            .collect();
+        SparseVec::from_pairs(pairs)
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_len(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Index of a token, if in the vocabulary.
+    pub fn index_of(&self, token: &str) -> Option<u32> {
+        self.vocab.get(token).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sparse_from_pairs_sums_duplicates_and_sorts() {
+        let v = SparseVec::from_pairs(vec![(3, 1.0), (1, 2.0), (3, 1.0), (2, 0.0)]);
+        let entries: Vec<_> = v.iter().collect();
+        assert_eq!(entries, vec![(1, 2.0), (3, 2.0)]);
+        assert_eq!(v.nnz(), 2);
+    }
+
+    #[test]
+    fn dot_product() {
+        let v = SparseVec::from_pairs(vec![(0, 2.0), (2, 3.0), (9, 1.0)]);
+        let w = vec![1.0, 10.0, 0.5];
+        assert!((v.dot(&w) - 3.5).abs() < 1e-6); // index 9 out of range → 0
+    }
+
+    #[test]
+    fn norm_and_scale() {
+        let mut v = SparseVec::from_pairs(vec![(0, 3.0), (1, 4.0)]);
+        assert!((v.norm() - 5.0).abs() < 1e-6);
+        v.scale(2.0);
+        assert!((v.norm() - 10.0).abs() < 1e-6);
+    }
+
+    fn corpus() -> Vec<&'static str> {
+        vec![
+            "fast fiber internet service provider network",
+            "cloud hosting dedicated server datacenter network",
+            "fiber internet provider coverage network",
+            "managed hosting server cloud network",
+        ]
+    }
+
+    #[test]
+    fn fit_transform_produces_consistent_vectors() {
+        let docs = corpus();
+        let mut vz = CountVectorizer::new(VectorizerConfig {
+            max_features: 100,
+            min_df: 1,
+            max_df_ratio: 1.0,
+        });
+        let xs = vz.fit_transform(&docs);
+        assert_eq!(xs.len(), 4);
+        assert!(vz.vocab_len() >= 8);
+        // "network" appears in all docs.
+        let net = vz.index_of("network").unwrap();
+        for x in &xs {
+            assert!(x.iter().any(|(i, _)| i == net));
+        }
+    }
+
+    #[test]
+    fn min_df_filters_rare_tokens() {
+        let docs = corpus();
+        let mut vz = CountVectorizer::new(VectorizerConfig {
+            max_features: 100,
+            min_df: 2,
+            max_df_ratio: 1.0,
+        });
+        vz.fit(&docs);
+        assert!(vz.index_of("coverage").is_none(), "df=1 token kept");
+        assert!(vz.index_of("fiber").is_some());
+    }
+
+    #[test]
+    fn max_df_filters_ubiquitous_tokens() {
+        let docs = corpus();
+        let mut vz = CountVectorizer::new(VectorizerConfig {
+            max_features: 100,
+            min_df: 1,
+            max_df_ratio: 0.8,
+        });
+        vz.fit(&docs);
+        assert!(vz.index_of("network").is_none(), "df=100% token kept");
+    }
+
+    #[test]
+    fn max_features_caps_vocabulary() {
+        let docs = corpus();
+        let mut vz = CountVectorizer::new(VectorizerConfig {
+            max_features: 3,
+            min_df: 1,
+            max_df_ratio: 1.0,
+        });
+        vz.fit(&docs);
+        assert_eq!(vz.vocab_len(), 3);
+    }
+
+    #[test]
+    fn unknown_tokens_ignored_on_transform() {
+        let docs = corpus();
+        let mut vz = CountVectorizer::new(VectorizerConfig::default());
+        vz.fit(&docs);
+        let x = vz.transform("completely novel wording here");
+        assert!(x.is_empty());
+    }
+
+    #[test]
+    fn fitting_is_deterministic() {
+        let docs = corpus();
+        let mut a = CountVectorizer::new(VectorizerConfig::default());
+        let mut b = CountVectorizer::new(VectorizerConfig::default());
+        a.fit(&docs);
+        b.fit(&docs);
+        for t in ["fiber", "hosting", "network", "internet"] {
+            assert_eq!(a.index_of(t), b.index_of(t));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn from_pairs_entries_sorted_unique(pairs in proptest::collection::vec((0u32..50, -3.0f32..3.0), 0..60)) {
+            let v = SparseVec::from_pairs(pairs);
+            let e: Vec<_> = v.iter().collect();
+            for w in e.windows(2) {
+                prop_assert!(w[0].0 < w[1].0);
+            }
+            for (_, val) in e {
+                prop_assert!(val != 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Simulated web fetching.
+//!
+//! The scraper talks to the web through the [`Fetcher`] trait, so it can be
+//! pointed at the [`SimWeb`] registry in experiments or at custom stubs in
+//! tests. Fetches have a deterministic latency model — "Each AS takes 5–30
+//! seconds to scrape, depending on load time and number of internal pages"
+//! (§4.1) — and the documented failure modes (unreachable hosts, missing
+//! pages).
+
+use crate::site::Website;
+use asdb_model::{Domain, Url, WorldSeed};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+/// Why a fetch failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FetchError {
+    /// DNS resolution failed / host does not exist.
+    NoSuchHost,
+    /// Host exists but never answers ("31% do not have a working website").
+    Unreachable,
+    /// Host answered but the path is missing.
+    NotFound,
+}
+
+impl fmt::Display for FetchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FetchError::NoSuchHost => "no such host",
+            FetchError::Unreachable => "host unreachable",
+            FetchError::NotFound => "page not found",
+        })
+    }
+}
+
+impl std::error::Error for FetchError {}
+
+/// A successful fetch: the markup and how long the request took in
+/// simulated time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fetched {
+    /// Raw page markup.
+    pub markup: String,
+    /// Simulated request latency.
+    pub latency: Duration,
+}
+
+/// Anything the scraper can fetch pages from.
+pub trait Fetcher {
+    /// Fetch a URL.
+    fn fetch(&self, url: &Url) -> Result<Fetched, FetchError>;
+}
+
+/// The simulated web: a registry of generated websites plus a set of
+/// registered-but-unreachable hosts.
+#[derive(Debug, Clone, Default)]
+pub struct SimWeb {
+    sites: BTreeMap<Domain, Website>,
+    unreachable: BTreeMap<Domain, ()>,
+    seed: WorldSeed,
+}
+
+impl SimWeb {
+    /// Empty web.
+    pub fn new(seed: WorldSeed) -> SimWeb {
+        SimWeb {
+            sites: BTreeMap::new(),
+            unreachable: BTreeMap::new(),
+            seed,
+        }
+    }
+
+    /// Host a website.
+    pub fn host(&mut self, site: Website) {
+        self.sites.insert(site.domain.clone(), site);
+    }
+
+    /// Register a domain that resolves but never answers.
+    pub fn register_unreachable(&mut self, domain: Domain) {
+        self.unreachable.insert(domain, ());
+    }
+
+    /// Whether a domain hosts a working site.
+    pub fn is_live(&self, domain: &Domain) -> bool {
+        self.sites.contains_key(domain)
+    }
+
+    /// The site at a domain, if any.
+    pub fn site(&self, domain: &Domain) -> Option<&Website> {
+        self.sites.get(domain)
+    }
+
+    /// Number of hosted sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Whether no sites are hosted.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Deterministic per-(domain, path) latency in 200ms–6s, so a 1+5-page
+    /// scrape lands in the paper's 5–30s window.
+    fn latency(&self, url: &Url) -> Duration {
+        let h = self
+            .seed
+            .derive(url.host.as_str())
+            .derive(&url.path)
+            .value();
+        Duration::from_millis(200 + (h % 5_800))
+    }
+}
+
+impl Fetcher for SimWeb {
+    fn fetch(&self, url: &Url) -> Result<Fetched, FetchError> {
+        if self.unreachable.contains_key(&url.host) {
+            return Err(FetchError::Unreachable);
+        }
+        let site = self.sites.get(&url.host).ok_or(FetchError::NoSuchHost)?;
+        let markup = site.pages.get(&url.path).ok_or(FetchError::NotFound)?;
+        Ok(Fetched {
+            markup: markup.clone(),
+            latency: self.latency(url),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::Language;
+    use crate::site::{SiteQuirks, SiteSpec};
+    use asdb_taxonomy::naicslite::known;
+
+    fn web() -> SimWeb {
+        let mut w = SimWeb::new(WorldSeed::new(1));
+        let spec = SiteSpec {
+            domain: Domain::new("live.example").unwrap(),
+            org_name: "Live Org".into(),
+            category: known::isp(),
+            language: Language::English,
+            quirks: SiteQuirks::default(),
+        };
+        w.host(Website::generate(&spec, WorldSeed::new(1)));
+        w.register_unreachable(Domain::new("dead.example").unwrap());
+        w
+    }
+
+    #[test]
+    fn fetch_existing_page() {
+        let w = web();
+        let url = Url::root(Domain::new("live.example").unwrap());
+        let f = w.fetch(&url).unwrap();
+        assert!(f.markup.contains("Live Org"));
+        assert!(f.latency >= Duration::from_millis(200));
+        assert!(f.latency <= Duration::from_secs(6));
+    }
+
+    #[test]
+    fn fetch_error_modes() {
+        let w = web();
+        let missing = Url::with_path(Domain::new("live.example").unwrap(), "/nope");
+        assert_eq!(w.fetch(&missing).unwrap_err(), FetchError::NotFound);
+        let dead = Url::root(Domain::new("dead.example").unwrap());
+        assert_eq!(w.fetch(&dead).unwrap_err(), FetchError::Unreachable);
+        let unknown = Url::root(Domain::new("ghost.example").unwrap());
+        assert_eq!(w.fetch(&unknown).unwrap_err(), FetchError::NoSuchHost);
+    }
+
+    #[test]
+    fn latency_is_deterministic() {
+        let w = web();
+        let url = Url::root(Domain::new("live.example").unwrap());
+        assert_eq!(w.fetch(&url).unwrap().latency, w.fetch(&url).unwrap().latency);
+    }
+
+    #[test]
+    fn is_live_reflects_hosting() {
+        let w = web();
+        assert!(w.is_live(&Domain::new("live.example").unwrap()));
+        assert!(!w.is_live(&Domain::new("dead.example").unwrap()));
+        assert_eq!(w.len(), 1);
+        assert!(!w.is_empty());
+    }
+}

@@ -1,0 +1,258 @@
+//! A small HTML-subset document model.
+//!
+//! Generated sites are rendered to real markup and the scraper re-parses
+//! that markup, so the generator and scraper are decoupled exactly like a
+//! real crawler and the sites it visits. The subset covers what the
+//! pipeline needs: title, headings, paragraphs, anchors, and images with
+//! `alt`-less embedded text (which a text scraper cannot see — one of the
+//! paper's documented failure modes).
+
+use serde::{Deserialize, Serialize};
+
+/// A hyperlink on a page.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Link {
+    /// Target path (site-relative, e.g. `/about`).
+    pub href: String,
+    /// The anchor text ("link title" in the paper's scraper description).
+    pub text: String,
+}
+
+/// A parsed (or generated) web page.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Page {
+    /// `<title>` content.
+    pub title: String,
+    /// `<h1>`/`<h2>` contents in order.
+    pub headings: Vec<String>,
+    /// `<p>` contents in order.
+    pub paragraphs: Vec<String>,
+    /// `<a>` elements in order.
+    pub links: Vec<Link>,
+    /// Text embedded inside images — *invisible* to text extraction.
+    pub image_text: Vec<String>,
+}
+
+impl Page {
+    /// All text a text-scraper can extract: title, headings, paragraphs,
+    /// link anchors. Image-embedded text is deliberately excluded.
+    pub fn visible_text(&self) -> String {
+        let mut parts: Vec<&str> = Vec::new();
+        if !self.title.is_empty() {
+            parts.push(&self.title);
+        }
+        parts.extend(self.headings.iter().map(String::as_str));
+        parts.extend(self.paragraphs.iter().map(String::as_str));
+        parts.extend(self.links.iter().map(|l| l.text.as_str()));
+        parts.join("\n")
+    }
+
+    /// Render to markup.
+    pub fn render(&self) -> String {
+        let mut out = String::from("<html><head>");
+        out.push_str(&format!("<title>{}</title>", escape(&self.title)));
+        out.push_str("</head><body>");
+        for h in &self.headings {
+            out.push_str(&format!("<h1>{}</h1>", escape(h)));
+        }
+        for p in &self.paragraphs {
+            out.push_str(&format!("<p>{}</p>", escape(p)));
+        }
+        for l in &self.links {
+            out.push_str(&format!(
+                "<a href=\"{}\">{}</a>",
+                escape(&l.href),
+                escape(&l.text)
+            ));
+        }
+        for t in &self.image_text {
+            // Text baked into a bitmap: modeled as a data-image whose
+            // content never appears as element text.
+            out.push_str(&format!("<img data-baked=\"{}\"/>", escape(t)));
+        }
+        out.push_str("</body></html>");
+        out
+    }
+
+    /// Parse markup produced by [`Page::render`] (or anything structurally
+    /// similar). Unknown tags are skipped; the parser never panics.
+    pub fn parse(markup: &str) -> Page {
+        let mut page = Page::default();
+        let mut rest = markup;
+        while let Some(start) = rest.find('<') {
+            rest = &rest[start + 1..];
+            let Some(end) = rest.find('>') else { break };
+            let tag = &rest[..end];
+            rest = &rest[end + 1..];
+            let (name, attrs) = tag.split_once(char::is_whitespace).unwrap_or((tag, ""));
+            match name.to_ascii_lowercase().as_str() {
+                "title" => {
+                    if let Some((text, r)) = read_text_until(rest, "</title>") {
+                        page.title = unescape(&text);
+                        rest = r;
+                    }
+                }
+                "h1" | "h2" => {
+                    let close = if name.eq_ignore_ascii_case("h1") { "</h1>" } else { "</h2>" };
+                    if let Some((text, r)) = read_text_until(rest, close) {
+                        page.headings.push(unescape(&text));
+                        rest = r;
+                    }
+                }
+                "p" => {
+                    if let Some((text, r)) = read_text_until(rest, "</p>") {
+                        page.paragraphs.push(unescape(&text));
+                        rest = r;
+                    }
+                }
+                "a" => {
+                    let href = attr_value(attrs, "href").unwrap_or_default();
+                    if let Some((text, r)) = read_text_until(rest, "</a>") {
+                        page.links.push(Link {
+                            href: unescape(&href),
+                            text: unescape(&text),
+                        });
+                        rest = r;
+                    }
+                }
+                "img" => {
+                    if let Some(baked) = attr_value(attrs, "data-baked") {
+                        page.image_text.push(unescape(&baked));
+                    }
+                }
+                _ => {}
+            }
+        }
+        page
+    }
+}
+
+fn read_text_until<'a>(input: &'a str, close: &str) -> Option<(String, &'a str)> {
+    let pos = input.to_ascii_lowercase().find(close)?;
+    // If another tag opens before the close tag, this element was never
+    // properly closed — treat it as malformed and let the outer loop
+    // re-scan from the intervening tag instead of swallowing it.
+    if input[..pos].contains('<') {
+        return None;
+    }
+    Some((input[..pos].to_owned(), &input[pos + close.len()..]))
+}
+
+fn attr_value(attrs: &str, name: &str) -> Option<String> {
+    let lower = attrs.to_ascii_lowercase();
+    let at = lower.find(&format!("{name}=\""))?;
+    let after = &attrs[at + name.len() + 2..];
+    let end = after.find('"')?;
+    Some(after[..end].to_owned())
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("&quot;", "\"")
+        .replace("&gt;", ">")
+        .replace("&lt;", "<")
+        .replace("&amp;", "&")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> Page {
+        Page {
+            title: "Acme Hosting — Cloud & Dedicated Servers".into(),
+            headings: vec!["Managed hosting".into()],
+            paragraphs: vec![
+                "We operate datacenters with 24/7 support.".into(),
+                "Dedicated servers, VPS, and colocation.".into(),
+            ],
+            links: vec![
+                Link {
+                    href: "/services".into(),
+                    text: "Our services".into(),
+                },
+                Link {
+                    href: "/about".into(),
+                    text: "About us".into(),
+                },
+            ],
+            image_text: vec!["hidden slogan in a banner image".into()],
+        }
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let p = sample();
+        let back = Page::parse(&p.render());
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn visible_text_excludes_image_text() {
+        let text = sample().visible_text();
+        assert!(text.contains("Managed hosting"));
+        assert!(text.contains("Our services"));
+        assert!(!text.contains("hidden slogan"));
+    }
+
+    #[test]
+    fn escaping_special_chars() {
+        let p = Page {
+            title: "a < b & \"c\" > d".into(),
+            ..Page::default()
+        };
+        let back = Page::parse(&p.render());
+        assert_eq!(back.title, p.title);
+    }
+
+    #[test]
+    fn parser_tolerates_garbage() {
+        let p = Page::parse("<<<>>><p>ok</p><a href=>broken<a href=\"/x\">fine</a>");
+        assert_eq!(p.paragraphs, vec!["ok"]);
+        assert!(p.links.iter().any(|l| l.href == "/x"));
+    }
+
+    #[test]
+    fn parser_handles_unclosed_tags() {
+        let p = Page::parse("<title>no close tag at all");
+        assert_eq!(p.title, "");
+        let p = Page::parse("<p>fine</p><h1>unclosed heading");
+        assert_eq!(p.paragraphs, vec!["fine"]);
+    }
+
+    #[test]
+    fn empty_page() {
+        let p = Page::parse("");
+        assert_eq!(p, Page::default());
+        assert_eq!(p.visible_text(), "");
+    }
+
+    proptest! {
+        #[test]
+        fn parse_never_panics(s in ".{0,800}") {
+            let _ = Page::parse(&s);
+        }
+
+        #[test]
+        fn roundtrip_for_simple_content(
+            title in "[a-zA-Z0-9 ]{0,40}",
+            paras in proptest::collection::vec("[a-zA-Z0-9 .,]{0,60}", 0..5),
+        ) {
+            let p = Page {
+                title: title.trim().to_owned(),
+                paragraphs: paras.iter().map(|s| s.trim().to_owned()).collect(),
+                ..Page::default()
+            };
+            let back = Page::parse(&p.render());
+            prop_assert_eq!(back.title, p.title);
+            prop_assert_eq!(back.paragraphs, p.paragraphs);
+        }
+    }
+}

@@ -1,0 +1,394 @@
+//! Website generation.
+//!
+//! Produces a complete [`Website`] — homepage plus internal pages — from a
+//! [`SiteSpec`] describing the owning organization. Quirk flags reproduce
+//! the failure modes the paper documents:
+//!
+//! * `text_in_images`: "much of the text is contained in images" — the
+//!   descriptive vocabulary is baked into image banners the scraper cannot
+//!   read;
+//! * `unlinked_internal`: informative internal pages exist but "are often
+//!   either not linked from the home page";
+//! * `parked` / `placeholder`: "31% do not have a working website, 11% have
+//!   an uninformative website (e.g., an Apache test page)" (Appendix B);
+//! * `misleading_vocab`: the ASN 133002 trap — a non-tech site written with
+//!   cloud/performance vocabulary.
+
+use crate::html::{Link, Page};
+use crate::lang::Language;
+use crate::vocab::{self, BOILERPLATE, INTERNAL_PAGES};
+use asdb_model::{Domain, WorldSeed};
+use asdb_taxonomy::Layer2;
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Quirks of a generated website.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SiteQuirks {
+    /// Descriptive text baked into images instead of markup.
+    pub text_in_images: bool,
+    /// Informative internal pages exist but are not linked from home.
+    pub unlinked_internal: bool,
+    /// The site is a parked-domain page with no real content.
+    pub parked: bool,
+    /// The site is a default web-server test page.
+    pub placeholder: bool,
+    /// The site uses a trap vocabulary that mimics another category.
+    pub misleading_vocab: bool,
+}
+
+/// Everything the generator needs to know about a site.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SiteSpec {
+    /// The site's domain.
+    pub domain: Domain,
+    /// The owning organization's display name (appears in the homepage
+    /// title — the signal "most similar domain" matching relies on).
+    pub org_name: String,
+    /// The organization's true NAICSlite layer-2 category.
+    pub category: Layer2,
+    /// The site language.
+    pub language: Language,
+    /// Quirk flags.
+    pub quirks: SiteQuirks,
+}
+
+/// A generated website: rendered markup per path.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Website {
+    /// The domain this site is served on.
+    pub domain: Domain,
+    /// Markup per site-relative path (`/`, `/about`, …).
+    pub pages: BTreeMap<String, String>,
+}
+
+impl Website {
+    /// Generate the website for a spec. Deterministic per (spec, seed).
+    pub fn generate(spec: &SiteSpec, seed: WorldSeed) -> Website {
+        let mut rng = StdRng::seed_from_u64(
+            seed.derive("website")
+                .derive_index(spec.domain.as_str(), 0)
+                .value(),
+        );
+        let mut pages = BTreeMap::new();
+
+        if spec.quirks.parked {
+            let page = Page {
+                title: format!("{} - domain parked", spec.domain),
+                paragraphs: vec![
+                    "This domain is parked free, courtesy of the registrar.".into(),
+                    "Buy this domain today.".into(),
+                ],
+                ..Page::default()
+            };
+            pages.insert("/".to_owned(), page.render());
+            return Website {
+                domain: spec.domain.clone(),
+                pages,
+            };
+        }
+        if spec.quirks.placeholder {
+            let page = Page {
+                title: "Apache2 Default Page: It works".into(),
+                headings: vec!["It works!".into()],
+                paragraphs: vec![
+                    "This is the default welcome page used to test the correct \
+                     operation of the Apache2 server."
+                        .into(),
+                ],
+                ..Page::default()
+            };
+            pages.insert("/".to_owned(), page.render());
+            return Website {
+                domain: spec.domain.clone(),
+                pages,
+            };
+        }
+
+        let words: Vec<&'static str> = if spec.quirks.misleading_vocab {
+            trap_vocabulary(spec.category)
+        } else {
+            vocab::vocabulary(spec.category)
+        }
+        .to_vec();
+
+        // Homepage: title carries the org name (domain matching signal),
+        // body carries a *light* sample of category vocabulary — the meat
+        // is on internal pages ("many pages include service descriptions on
+        // inner pages rather than the homepage").
+        let home_sentences = compose_sentences(&mut rng, &words, 3, 6);
+        let deep_sentences = compose_sentences(&mut rng, &words, 10, 9);
+
+        let mut home = Page {
+            title: format!("{} — {}", spec.org_name, tagline(&mut rng, &words)),
+            headings: vec![format!("Welcome to {}", spec.org_name)],
+            ..Page::default()
+        };
+        if spec.quirks.text_in_images {
+            // Vocabulary hides in banner images; only boilerplate is text.
+            home.image_text = home_sentences;
+            home.paragraphs = compose_sentences(&mut rng, BOILERPLATE, 2, 6);
+        } else {
+            home.paragraphs = home_sentences;
+        }
+
+        // Internal pages with keyword-bearing anchor titles.
+        let n_internal = rng.random_range(2..=INTERNAL_PAGES.len());
+        let chosen: Vec<&(&str, &str)> = INTERNAL_PAGES.iter().take(n_internal).collect();
+        for (path, anchor) in &chosen {
+            if !spec.quirks.unlinked_internal {
+                home.links.push(Link {
+                    href: (*path).to_owned(),
+                    text: (*anchor).to_owned(),
+                });
+            }
+            let body = if spec.quirks.text_in_images {
+                Page {
+                    title: format!("{} | {}", anchor, spec.org_name),
+                    image_text: deep_sentences.clone(),
+                    paragraphs: compose_sentences(&mut rng, BOILERPLATE, 1, 5),
+                    ..Page::default()
+                }
+            } else {
+                Page {
+                    title: format!("{} | {}", anchor, spec.org_name),
+                    headings: vec![(*anchor).to_owned()],
+                    paragraphs: deep_sentences.clone(),
+                    ..Page::default()
+                }
+            };
+            pages.insert((*path).to_owned(), render_in_language(&body, spec.language));
+        }
+        // An uninformative decoy link (privacy policy) is always present.
+        home.links.push(Link {
+            href: "/privacy".to_owned(),
+            text: "Privacy policy".to_owned(),
+        });
+        pages.insert(
+            "/privacy".to_owned(),
+            render_in_language(
+                &Page {
+                    title: format!("Privacy policy | {}", spec.org_name),
+                    paragraphs: vec!["We respect your privacy and protect your data.".into()],
+                    ..Page::default()
+                },
+                spec.language,
+            ),
+        );
+        pages.insert("/".to_owned(), render_in_language(&home, spec.language));
+        Website {
+            domain: spec.domain.clone(),
+            pages,
+        }
+    }
+
+    /// The homepage markup.
+    pub fn homepage(&self) -> Option<&str> {
+        self.pages.get("/").map(String::as_str)
+    }
+
+    /// The homepage `<title>`, parsed back out of the markup.
+    pub fn homepage_title(&self) -> String {
+        self.homepage()
+            .map(|m| Page::parse(m).title)
+            .unwrap_or_default()
+    }
+}
+
+/// Translate page text into the site language. The org name (title) is kept
+/// as-is — brand names don't translate — so domain matching still works on
+/// foreign sites.
+fn render_in_language(page: &Page, language: Language) -> String {
+    if language == Language::English {
+        return page.render();
+    }
+    let mut p = page.clone();
+    p.headings = p.headings.iter().map(|h| language.mangle_text(h)).collect();
+    p.paragraphs = p
+        .paragraphs
+        .iter()
+        .map(|t| language.mangle_text(t))
+        .collect();
+    p.image_text = p
+        .image_text
+        .iter()
+        .map(|t| language.mangle_text(t))
+        .collect();
+    // Anchor texts stay in English-ish navigation (common on real sites,
+    // and what keeps cross-language scraping plausible).
+    p.render()
+}
+
+fn tagline(rng: &mut StdRng, words: &[&str]) -> String {
+    let a = words.choose(rng).copied().unwrap_or("services");
+    let b = words.choose(rng).copied().unwrap_or("solutions");
+    format!("{a} and {b}")
+}
+
+fn compose_sentences(rng: &mut StdRng, words: &[&str], n: usize, len: usize) -> Vec<String> {
+    (0..n)
+        .map(|_| {
+            let mut sentence: Vec<&str> = Vec::with_capacity(len + 2);
+            for _ in 0..len {
+                sentence.push(words.choose(rng).copied().unwrap_or("services"));
+            }
+            // Mix in light boilerplate so documents aren't pure topic words.
+            if rng.random_bool(0.5) {
+                sentence.push(BOILERPLATE.choose(rng).copied().unwrap_or("quality"));
+            }
+            let mut s = sentence.join(" ");
+            s.push('.');
+            s
+        })
+        .collect()
+}
+
+/// The trap vocabulary for a misleading site of the given true category.
+fn trap_vocabulary(category: Layer2) -> &'static [&'static str] {
+    use asdb_taxonomy::Layer1;
+    match category.layer1 {
+        // Research orgs that talk like cloud providers.
+        Layer1::Education => vocab::SCIENCE_CLOUD_TRAP,
+        // Retailers that talk like ISPs.
+        Layer1::Retail => vocab::ELECTRONICS_RETAIL_TRAP,
+        // Anything else leans science-cloud (the documented FP family).
+        _ => vocab::SCIENCE_CLOUD_TRAP,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asdb_taxonomy::naicslite::known;
+
+    fn spec(quirks: SiteQuirks, language: Language) -> SiteSpec {
+        SiteSpec {
+            domain: Domain::new("acme-hosting.example").unwrap(),
+            org_name: "Acme Hosting".into(),
+            category: known::hosting(),
+            language,
+            quirks,
+        }
+    }
+
+    #[test]
+    fn generates_homepage_and_internal_pages() {
+        let site = Website::generate(&spec(SiteQuirks::default(), Language::English), WorldSeed::new(1));
+        assert!(site.homepage().is_some());
+        assert!(site.pages.len() >= 3);
+        assert!(site.homepage_title().contains("Acme Hosting"));
+    }
+
+    #[test]
+    fn hosting_site_contains_hosting_vocab() {
+        let site = Website::generate(&spec(SiteQuirks::default(), Language::English), WorldSeed::new(2));
+        let all_text: String = site
+            .pages
+            .values()
+            .map(|m| Page::parse(m).visible_text().to_lowercase())
+            .collect::<Vec<_>>()
+            .join(" ");
+        let hits = vocab::HOSTING_CORE
+            .iter()
+            .filter(|w| all_text.contains(*w))
+            .count();
+        assert!(hits >= 5, "only {hits} hosting words present");
+    }
+
+    #[test]
+    fn text_in_images_hides_vocab_from_visible_text() {
+        let q = SiteQuirks {
+            text_in_images: true,
+            ..SiteQuirks::default()
+        };
+        let site = Website::generate(&spec(q, Language::English), WorldSeed::new(3));
+        let home = Page::parse(site.homepage().unwrap());
+        let visible = home.visible_text().to_lowercase();
+        // Strong hosting markers only in image_text.
+        let visible_hits = ["colocation", "vps", "datacenter"]
+            .iter()
+            .filter(|w| visible.contains(*w))
+            .count();
+        assert_eq!(visible_hits, 0, "vocab leaked into visible text");
+        assert!(!home.image_text.is_empty());
+    }
+
+    #[test]
+    fn unlinked_internal_pages_exist_but_not_linked() {
+        let q = SiteQuirks {
+            unlinked_internal: true,
+            ..SiteQuirks::default()
+        };
+        let site = Website::generate(&spec(q, Language::English), WorldSeed::new(4));
+        let home = Page::parse(site.homepage().unwrap());
+        let non_privacy_links = home.links.iter().filter(|l| l.href != "/privacy").count();
+        assert_eq!(non_privacy_links, 0);
+        assert!(site.pages.len() > 2, "internal pages must still exist");
+    }
+
+    #[test]
+    fn parked_and_placeholder_sites_are_uninformative() {
+        for q in [
+            SiteQuirks {
+                parked: true,
+                ..SiteQuirks::default()
+            },
+            SiteQuirks {
+                placeholder: true,
+                ..SiteQuirks::default()
+            },
+        ] {
+            let site = Website::generate(&spec(q, Language::English), WorldSeed::new(5));
+            assert_eq!(site.pages.len(), 1);
+            let text = Page::parse(site.homepage().unwrap())
+                .visible_text()
+                .to_lowercase();
+            // No category vocabulary may leak (the domain name itself can
+            // legitimately contain words like "hosting").
+            for w in ["colocation", "datacenter", "vps", "dedicated"] {
+                assert!(!text.contains(w), "{w} leaked into {text}");
+            }
+        }
+    }
+
+    #[test]
+    fn foreign_sites_keep_org_name_in_title() {
+        let site = Website::generate(&spec(SiteQuirks::default(), Language::Zonal), WorldSeed::new(6));
+        assert!(site.homepage_title().contains("Acme Hosting"));
+        // But body text is mangled.
+        let home = Page::parse(site.homepage().unwrap());
+        let body = home.paragraphs.join(" ");
+        assert!(body.contains("xzo"), "body should be in Zonal: {body}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Website::generate(&spec(SiteQuirks::default(), Language::English), WorldSeed::new(7));
+        let b = Website::generate(&spec(SiteQuirks::default(), Language::English), WorldSeed::new(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn misleading_vocab_site_talks_like_the_trap() {
+        let mut s = spec(
+            SiteQuirks {
+                misleading_vocab: true,
+                ..SiteQuirks::default()
+            },
+            Language::English,
+        );
+        s.category = known::research_orgs();
+        let site = Website::generate(&s, WorldSeed::new(8));
+        let all: String = site
+            .pages
+            .values()
+            .map(|m| Page::parse(m).visible_text().to_lowercase())
+            .collect::<Vec<_>>()
+            .join(" ");
+        assert!(all.contains("cloud") || all.contains("computing"));
+        assert!(!all.contains("colocation"));
+    }
+}

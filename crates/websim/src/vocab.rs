@@ -1,0 +1,463 @@
+//! Per-category website vocabulary.
+//!
+//! The generator writes each organization's website using the vocabulary of
+//! its true NAICSlite layer-2 category. The two technology categories ASdb's
+//! ML classifiers target — ISPs and hosting providers — "use common language
+//! and have common descriptors in their websites, which allows humans to
+//! quickly identify them" (§4.1); their word lists are therefore the most
+//! distinctive. A handful of *trap* vocabularies reproduce the documented
+//! false-positive cases (a meteorology institute whose homepage "discusses
+//! using high performance computing and data analytics to study (nature's)
+//! clouds").
+
+use asdb_taxonomy::{Layer1, Layer2};
+
+/// Generic business boilerplate present on almost every site.
+pub static BOILERPLATE: &[&str] = &[
+    "welcome", "contact", "team", "careers", "news", "partners", "customers", "quality",
+    "experience", "trusted", "leading", "professional", "mission", "values", "support",
+];
+
+/// Words ISP websites use heavily — the positive signal for the ISP
+/// classifier.
+pub static ISP_CORE: &[&str] = &[
+    "internet", "broadband", "fiber", "dsl", "wireless", "speeds", "coverage", "unlimited",
+    "router", "modem", "plans", "gigabit", "residential", "provider", "bandwidth", "wifi",
+    "installation", "subscriber",
+];
+
+/// Words hosting/cloud websites use heavily — the positive signal for the
+/// hosting classifier.
+pub static HOSTING_CORE: &[&str] = &[
+    "hosting", "cloud", "server", "servers", "datacenter", "colocation", "vps", "dedicated",
+    "uptime", "virtual", "storage", "backup", "managed", "infrastructure", "deploy", "rack",
+    "ssd", "provisioning",
+];
+
+/// Trap vocabulary: scientific-computing organizations that talk about
+/// clouds and performance without being cloud providers (the ASN 133002
+/// failure case).
+pub static SCIENCE_CLOUD_TRAP: &[&str] = &[
+    "cloud", "clouds", "computing", "performance", "data", "analytics", "research", "climate",
+    "monsoon", "atmospheric", "simulation", "modeling", "institute", "tropical", "weather",
+];
+
+/// Trap vocabulary: electronics retailers whose catalogs mention routers and
+/// fiber without being ISPs.
+pub static ELECTRONICS_RETAIL_TRAP: &[&str] = &[
+    "router", "modem", "wifi", "shop", "cart", "checkout", "deals", "shipping", "warranty",
+    "electronics", "accessories", "brands", "returns", "prices",
+];
+
+/// Category-specific vocabulary for every NAICSlite layer-2 category.
+pub fn vocabulary(l2: Layer2) -> &'static [&'static str] {
+    use Layer1::*;
+    match (l2.layer1, l2.index()) {
+        (ComputerAndIT, 0) => ISP_CORE,
+        (ComputerAndIT, 1) => &[
+            "phone", "mobile", "calls", "voip", "telephony", "minutes", "roaming", "sim",
+            "carrier", "landline", "messaging", "prepaid",
+        ],
+        (ComputerAndIT, 2) => HOSTING_CORE,
+        (ComputerAndIT, 3) => &[
+            "security", "firewall", "threat", "malware", "encryption", "penetration",
+            "vulnerability", "compliance", "detection", "incident", "forensics", "soc",
+        ],
+        (ComputerAndIT, 4) => &[
+            "software", "development", "applications", "api", "platform", "release", "agile",
+            "developers", "sdk", "integration", "product", "features",
+        ],
+        (ComputerAndIT, 5) => &[
+            "consulting", "digital", "transformation", "strategy", "implementation",
+            "integration", "advisory", "enterprise", "clients", "solutions", "projects",
+        ],
+        (ComputerAndIT, 6) => &[
+            "satellite", "orbit", "ground", "station", "transponder", "vsat", "uplink",
+            "downlink", "constellation", "spacecraft", "teleport",
+        ],
+        (ComputerAndIT, 7) => &[
+            "search", "results", "index", "ranking", "queries", "crawler", "engine",
+            "relevance", "answers", "discovery",
+        ],
+        (ComputerAndIT, 8) => &[
+            "peering", "exchange", "ixp", "fabric", "ports", "route", "members", "traffic",
+            "interconnection", "latency", "bgp", "aspath",
+        ],
+        (ComputerAndIT, 9) => &[
+            "technology", "digital", "innovation", "systems", "devices", "electronics",
+            "automation", "smart", "solutions",
+        ],
+        (Media, 0) => &[
+            "streaming", "watch", "listen", "episodes", "playlists", "subscription", "catalog",
+            "originals", "movies", "music", "series",
+        ],
+        (Media, 1) => &[
+            "articles", "stories", "editorial", "coverage", "breaking", "headlines", "opinion",
+            "journalism", "reporting", "newsletter",
+        ],
+        (Media, 2) => &[
+            "magazine", "print", "books", "publishing", "editions", "subscriptions",
+            "newspaper", "authors", "titles", "imprint",
+        ],
+        (Media, 3) => &[
+            "records", "label", "studio", "artists", "albums", "production", "film", "video",
+            "cinema", "releases",
+        ],
+        (Media, 4) => &[
+            "radio", "television", "broadcast", "channel", "station", "programming", "viewers",
+            "listeners", "schedule", "transmission",
+        ],
+        (Media, 5) => &[
+            "media", "content", "publishing", "broadcast", "audience", "creative",
+        ],
+        (Finance, 0) => &[
+            "banking", "accounts", "loans", "mortgage", "deposits", "checking", "savings",
+            "credit", "branches", "atm", "rates", "lending",
+        ],
+        (Finance, 1) => &[
+            "insurance", "policy", "claims", "coverage", "premiums", "underwriting", "agents",
+            "liability", "auto", "life", "property",
+        ],
+        (Finance, 2) => &[
+            "accounting", "tax", "payroll", "bookkeeping", "audit", "returns", "filings",
+            "cpa", "compliance", "statements",
+        ],
+        (Finance, 3) => &[
+            "investment", "portfolio", "funds", "pension", "wealth", "asset", "equity",
+            "returns", "advisors", "markets", "securities",
+        ],
+        (Finance, 4) => &[
+            "financial", "payments", "transactions", "finance", "fintech", "clearing",
+        ],
+        (Education, 0) => &[
+            "school", "students", "teachers", "classroom", "elementary", "curriculum",
+            "parents", "grades", "enrollment", "learning",
+        ],
+        (Education, 1) => &[
+            "university", "campus", "faculty", "students", "degrees", "admissions", "research",
+            "academics", "undergraduate", "graduate", "college", "alumni",
+        ],
+        (Education, 2) => &[
+            "training", "courses", "certification", "instruction", "exam", "preparation",
+            "lessons", "tuition", "driving", "trade", "skills",
+        ],
+        (Education, 3) => &[
+            "research", "laboratory", "science", "institute", "publications", "grants",
+            "scientists", "experiments", "innovation", "studies",
+        ],
+        (Education, 4) => &[
+            "learning", "platform", "courses", "online", "education", "students", "lessons",
+            "software", "interactive", "curriculum",
+        ],
+        (Education, 5) => &["education", "academic", "learning", "knowledge", "teaching"],
+        (Service, 0) => &[
+            "law", "legal", "attorneys", "consulting", "counsel", "litigation", "advisory",
+            "clients", "practice", "firm", "expertise",
+        ],
+        (Service, 1) => &[
+            "repair", "maintenance", "cleaning", "landscaping", "plumbing", "locksmith",
+            "pest", "installation", "contractors", "estimates",
+        ],
+        (Service, 2) => &[
+            "salon", "barber", "spa", "beauty", "wellness", "laundry", "stylists",
+            "appointments", "grooming", "fitness",
+        ],
+        (Service, 3) => &[
+            "shelter", "assistance", "childcare", "relief", "community", "families",
+            "volunteers", "donations", "outreach", "daycare",
+        ],
+        (Service, 4) => &["services", "clients", "solutions", "local", "reliable"],
+        (Agriculture, 0) => &[
+            "farm", "crops", "harvest", "organic", "produce", "fields", "seeds", "irrigation",
+            "grain", "ranch", "agriculture",
+        ],
+        (Agriculture, 1) => &[
+            "greenhouse", "nursery", "plants", "flowers", "seedlings", "horticulture",
+            "garden", "soil", "blooms",
+        ],
+        (Agriculture, 2) => &[
+            "mining", "minerals", "quarry", "extraction", "drilling", "refinery", "petroleum",
+            "ore", "coal", "exploration", "wells",
+        ],
+        (Agriculture, 3) => &[
+            "forestry", "timber", "logging", "lumber", "sawmill", "forests", "harvesting",
+            "woodland", "sustainable",
+        ],
+        (Agriculture, 4) => &[
+            "livestock", "cattle", "poultry", "dairy", "aquaculture", "fisheries", "herd",
+            "feed", "breeding", "hatchery",
+        ],
+        (Agriculture, 5) => &["agriculture", "land", "rural", "seasonal", "growers"],
+        (Nonprofits, 0) => &[
+            "church", "faith", "worship", "congregation", "ministry", "parish", "prayer",
+            "sermons", "fellowship", "mission",
+        ],
+        (Nonprofits, 1) => &[
+            "rights", "advocacy", "justice", "equality", "campaign", "community", "awareness",
+            "petition", "activism", "coalition",
+        ],
+        (Nonprofits, 2) => &[
+            "environment", "wildlife", "conservation", "habitat", "species", "sustainability",
+            "ecosystem", "preservation", "nature",
+        ],
+        (Nonprofits, 3) => &[
+            "nonprofit", "charity", "donate", "volunteers", "foundation", "giving",
+            "community", "impact", "programs",
+        ],
+        (Construction, 0) => &[
+            "construction", "building", "residential", "commercial", "contractor", "projects",
+            "renovation", "architecture", "builders",
+        ],
+        (Construction, 1) => &[
+            "engineering", "infrastructure", "roads", "bridges", "utilities", "excavation",
+            "civil", "paving", "highways", "pipelines",
+        ],
+        (Construction, 2) => &[
+            "realestate", "properties", "listings", "homes", "apartments", "leasing", "agents",
+            "brokerage", "rentals", "commercial",
+        ],
+        (Construction, 3) => &["construction", "development", "property", "sites"],
+        (Entertainment, 0) => &[
+            "library", "archives", "collections", "catalog", "books", "manuscripts",
+            "reading", "borrowing", "librarians",
+        ],
+        (Entertainment, 1) => &[
+            "sports", "team", "athletes", "performance", "theater", "concerts", "tickets",
+            "season", "arts", "stadium", "matches",
+        ],
+        (Entertainment, 2) => &[
+            "amusement", "park", "rides", "arcade", "fitness", "gym", "attractions", "fun",
+            "membership", "family",
+        ],
+        (Entertainment, 3) => &[
+            "museum", "exhibits", "gallery", "history", "zoo", "heritage", "tours",
+            "collections", "visitors", "admission",
+        ],
+        (Entertainment, 4) => &[
+            "casino", "gaming", "poker", "slots", "betting", "jackpot", "wagering", "odds",
+            "players", "tables",
+        ],
+        (Entertainment, 5) => &[
+            "tours", "sightseeing", "excursions", "guides", "itinerary", "landmarks",
+            "cruises", "attractions", "booking",
+        ],
+        (Entertainment, 6) => &["entertainment", "events", "leisure", "recreation"],
+        (Utilities, 0) => &[
+            "electric", "power", "grid", "energy", "transmission", "distribution", "outage",
+            "meters", "kilowatt", "substations", "utility",
+        ],
+        (Utilities, 1) => &[
+            "gas", "natural", "pipeline", "distribution", "meters", "heating", "supply",
+            "utility", "delivery",
+        ],
+        (Utilities, 2) => &[
+            "water", "supply", "irrigation", "reservoir", "pipelines", "drinking",
+            "treatment", "wells", "utility",
+        ],
+        (Utilities, 3) => &[
+            "sewage", "wastewater", "treatment", "sanitation", "drainage", "sewer",
+            "effluent", "plants",
+        ],
+        (Utilities, 4) => &[
+            "steam", "cooling", "heating", "district", "chilled", "thermal", "supply",
+        ],
+        (Utilities, 5) => &["utility", "infrastructure", "service", "municipal"],
+        (HealthCare, 0) => &[
+            "hospital", "patients", "medical", "clinic", "doctors", "emergency", "surgery",
+            "care", "physicians", "appointments", "treatment",
+        ],
+        (HealthCare, 1) => &[
+            "laboratory", "diagnostics", "testing", "samples", "results", "imaging",
+            "pathology", "screening", "specimens",
+        ],
+        (HealthCare, 2) => &[
+            "nursing", "care", "residents", "assisted", "living", "seniors", "home",
+            "facility", "caregivers", "rehabilitation",
+        ],
+        (HealthCare, 3) => &["health", "wellness", "medical", "clinic", "providers"],
+        (Travel, 0) => &[
+            "flights", "airline", "destinations", "booking", "airports", "passengers",
+            "fares", "boarding", "miles", "checkin",
+        ],
+        (Travel, 1) => &[
+            "rail", "trains", "tickets", "stations", "routes", "passengers", "schedules",
+            "platforms", "journeys",
+        ],
+        (Travel, 2) => &[
+            "cruise", "ferry", "sailing", "voyage", "ports", "cabins", "maritime",
+            "passengers", "boats",
+        ],
+        (Travel, 3) => &[
+            "hotel", "rooms", "reservations", "guests", "suites", "amenities", "stay",
+            "lodging", "hospitality", "booking",
+        ],
+        (Travel, 4) => &[
+            "campground", "rv", "camping", "sites", "outdoor", "hookups", "tents",
+            "reservations", "parks",
+        ],
+        (Travel, 5) => &[
+            "dormitory", "boarding", "housing", "residents", "lodging", "rooms",
+        ],
+        (Travel, 6) => &[
+            "restaurant", "menu", "dining", "cuisine", "chef", "reservations", "dishes",
+            "bar", "catering", "takeout",
+        ],
+        (Travel, 7) => &["travel", "trips", "vacation", "destinations", "explore"],
+        (Freight, 0) => &[
+            "courier", "parcel", "delivery", "postal", "mail", "packages", "express",
+            "tracking", "shipment",
+        ],
+        (Freight, 1) => &[
+            "cargo", "airfreight", "charter", "freight", "logistics", "shipments", "customs",
+            "handling",
+        ],
+        (Freight, 2) => &[
+            "railroad", "freight", "locomotives", "railcars", "intermodal", "terminals",
+            "shipping", "tracks",
+        ],
+        (Freight, 3) => &[
+            "shipping", "vessels", "containers", "maritime", "ports", "cargo", "freight",
+            "tonnage", "fleet", "canal", "transit",
+        ],
+        (Freight, 4) => &[
+            "trucking", "fleet", "carriers", "freight", "loads", "drivers", "hauling",
+            "logistics", "trailers", "dispatch",
+        ],
+        (Freight, 5) => &[
+            "satellites", "launch", "space", "payload", "orbital", "rockets", "missions",
+            "aerospace",
+        ],
+        (Freight, 6) => &[
+            "transit", "bus", "taxi", "subway", "routes", "fares", "passengers", "commute",
+            "schedules",
+        ],
+        (Freight, 7) => &["logistics", "shipping", "freight", "supply", "distribution"],
+        (Government, 0) => &[
+            "defense", "military", "security", "armed", "forces", "national", "veterans",
+            "operations", "strategic",
+        ],
+        (Government, 1) => &[
+            "police", "enforcement", "safety", "justice", "courts", "emergency", "officers",
+            "crime", "public",
+        ],
+        (Government, 2) => &[
+            "government", "ministry", "agency", "department", "public", "citizens",
+            "regulations", "administration", "municipal", "federal", "services",
+        ],
+        (Government, 3) => &["government", "official", "public", "national"],
+        (Retail, 0) => &[
+            "grocery", "supermarket", "fresh", "food", "beverages", "produce", "aisles",
+            "savings", "weekly", "deals",
+        ],
+        (Retail, 1) => &[
+            "clothing", "fashion", "apparel", "shoes", "accessories", "collection", "styles",
+            "luggage", "brands", "outfits",
+        ],
+        (Retail, 2) => ELECTRONICS_RETAIL_TRAP,
+        (Manufacturing, 0) => &[
+            "automotive", "vehicles", "assembly", "parts", "manufacturing", "models",
+            "dealers", "engineering", "production",
+        ],
+        (Manufacturing, 1) => &[
+            "food", "beverage", "processing", "production", "brands", "ingredients",
+            "packaging", "bottling", "factory",
+        ],
+        (Manufacturing, 2) => &[
+            "textiles", "fabric", "garments", "apparel", "weaving", "manufacturing", "mills",
+            "yarn",
+        ],
+        (Manufacturing, 3) => &[
+            "machinery", "equipment", "industrial", "manufacturing", "precision", "tooling",
+            "fabrication", "machines",
+        ],
+        (Manufacturing, 4) => &[
+            "pharmaceutical", "chemicals", "compounds", "manufacturing", "formulations",
+            "laboratories", "production", "medicines",
+        ],
+        (Manufacturing, 5) => &[
+            "electronics", "semiconductors", "components", "circuits", "manufacturing",
+            "capacitors", "sensors", "batteries", "assembly", "pcb",
+        ],
+        (Manufacturing, 6) => &["manufacturing", "industrial", "factory", "production"],
+        (Other, 0) => &["personal", "homepage", "portfolio", "blog", "hobby"],
+        (Other, 1) => &["page", "site", "index", "default"],
+        _ => &["organization", "information"],
+    }
+}
+
+/// Internal page names the generator uses, matching the anchor-title
+/// keywords the paper's scraper follows (Figure 3).
+pub static INTERNAL_PAGES: &[(&str, &str)] = &[
+    ("/services", "Our services and solutions"),
+    ("/about", "About us - who we are"),
+    ("/company", "Company history"),
+    ("/network", "Our network coverage"),
+    ("/connect", "Connect with us online"),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_layer2_has_vocabulary() {
+        for l2 in Layer2::all() {
+            let v = vocabulary(l2);
+            assert!(v.len() >= 4, "{l2} vocabulary too small ({})", v.len());
+        }
+    }
+
+    #[test]
+    fn isp_and_hosting_vocabularies_are_distinctive() {
+        let isp: std::collections::HashSet<_> = ISP_CORE.iter().collect();
+        let hosting: std::collections::HashSet<_> = HOSTING_CORE.iter().collect();
+        let shared: Vec<_> = isp.intersection(&hosting).collect();
+        assert!(shared.is_empty(), "ISP/hosting vocab overlap: {shared:?}");
+    }
+
+    #[test]
+    fn trap_vocab_shares_hosting_keywords() {
+        // The science trap must contain hosting-adjacent words to generate
+        // false positives — "cloud", "computing", "performance".
+        assert!(SCIENCE_CLOUD_TRAP.contains(&"cloud"));
+        assert!(SCIENCE_CLOUD_TRAP.contains(&"computing"));
+        // But must not literally contain the strongest hosting markers.
+        assert!(!SCIENCE_CLOUD_TRAP.contains(&"hosting"));
+        assert!(!SCIENCE_CLOUD_TRAP.contains(&"colocation"));
+    }
+
+    #[test]
+    fn electronics_trap_shares_isp_keywords() {
+        assert!(ELECTRONICS_RETAIL_TRAP.contains(&"router"));
+        assert!(ELECTRONICS_RETAIL_TRAP.contains(&"modem"));
+        assert!(!ELECTRONICS_RETAIL_TRAP.contains(&"broadband"));
+    }
+
+    #[test]
+    fn internal_page_titles_contain_scraper_keywords() {
+        // Figure 3's keyword list includes "service", "about", "who",
+        // "company", "network", "online", "connect", "coverage", "history".
+        for (path, title) in INTERNAL_PAGES {
+            assert!(path.starts_with('/'));
+            assert!(!title.is_empty());
+        }
+        let all_titles: String = INTERNAL_PAGES
+            .iter()
+            .map(|(_, t)| t.to_lowercase())
+            .collect::<Vec<_>>()
+            .join(" ");
+        for kw in ["service", "about", "company", "network", "coverage"] {
+            assert!(all_titles.contains(kw), "missing scraper keyword {kw}");
+        }
+    }
+
+    #[test]
+    fn vocabularies_are_lowercase_single_words() {
+        for l2 in Layer2::all() {
+            for w in vocabulary(l2) {
+                assert!(!w.contains(' '), "{l2}: {w:?} has a space");
+                assert_eq!(*w, w.to_lowercase(), "{l2}: {w:?} not lowercase");
+            }
+        }
+    }
+}

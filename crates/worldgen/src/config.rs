@@ -1,0 +1,171 @@
+//! World-generation configuration.
+//!
+//! Every noise constant defaults to a value the paper *measured* about the
+//! real ecosystem, with the section cited next to it. Tests pin these
+//! defaults so accidental recalibration is caught.
+
+use asdb_model::WorldSeed;
+use serde::{Deserialize, Serialize};
+
+/// WHOIS field-availability and quirk rates (§3.1, Appendix A).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WhoisNoise {
+    /// P(record carries an organization name) — "organization name
+    /// (provided for 80.19% ASes)".
+    pub org_name_rate: f64,
+    /// P(record carries a description) — "description (provided for 24.81%
+    /// ASes)".
+    pub descr_rate: f64,
+    /// P(record carries a physical address) — "61.7% have a physical
+    /// address".
+    pub address_rate: f64,
+    /// P(record carries a phone number) — "45% have a phone number".
+    /// Applied by giving phone numbers to all APNIC/ARIN records (which
+    /// publish them 100%) and none elsewhere; the marginal rate then falls
+    /// out of the registry mix.
+    pub phone_rate: f64,
+    /// P(record carries a country) — "99.7% have a country".
+    pub country_rate: f64,
+    /// P(record exposes some domain signal) — "87.1% contain some kind of
+    /// domain".
+    pub domain_signal_rate: f64,
+    /// P(an AFRINIC address is `*`-obfuscated) — "92% of entries obfuscate
+    /// their address".
+    pub afrinic_obfuscate_rate: f64,
+    /// P(an abuse contact uses a public email domain like Gmail) — drives
+    /// §5.1's step-2 filtering.
+    pub public_email_contact_rate: f64,
+    /// P(record with a domain signal also has a remarks URL).
+    pub remark_url_rate: f64,
+    /// P(the org name in WHOIS is a stale/variant spelling of the legal
+    /// name) — feeds entity-resolution errors.
+    pub name_variant_rate: f64,
+}
+
+impl Default for WhoisNoise {
+    fn default() -> Self {
+        WhoisNoise {
+            org_name_rate: 0.8019,
+            descr_rate: 0.2481,
+            address_rate: 0.617,
+            phone_rate: 0.45,
+            country_rate: 0.997,
+            domain_signal_rate: 0.871,
+            afrinic_obfuscate_rate: 0.92,
+            public_email_contact_rate: 0.12,
+            remark_url_rate: 0.35,
+            name_variant_rate: 0.15,
+        }
+    }
+}
+
+/// Website-population noise (§4.1, Appendix B).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WebNoise {
+    /// P(an organization with a domain hosts a working website) — "nearly
+    /// 90% of ASes have associated domains that host websites".
+    pub live_site_rate: f64,
+    /// P(a live site is non-English) — "49% of Gold Standard AS websites
+    /// are not in English".
+    pub non_english_rate: f64,
+    /// P(a live site bakes its text into images) — part of the 67% of ML
+    /// false negatives blamed on scraping gaps.
+    pub text_in_images_rate: f64,
+    /// P(internal pages exist but aren't linked from home).
+    pub unlinked_internal_rate: f64,
+    /// P(the domain is parked).
+    pub parked_rate: f64,
+    /// P(the site is a default test page) — "11% have an uninformative
+    /// website (e.g., an Apache test page)" among hard cases.
+    pub placeholder_rate: f64,
+    /// P(a non-tech site uses trap vocabulary) — the meteorology-institute
+    /// false-positive family.
+    pub misleading_vocab_rate: f64,
+    /// Word-loss rate of the simulated translator.
+    pub translation_loss: f64,
+}
+
+impl Default for WebNoise {
+    fn default() -> Self {
+        WebNoise {
+            live_site_rate: 0.90,
+            non_english_rate: 0.49,
+            text_in_images_rate: 0.06,
+            unlinked_internal_rate: 0.10,
+            parked_rate: 0.03,
+            placeholder_rate: 0.03,
+            misleading_vocab_rate: 0.04,
+            translation_loss: 0.05,
+        }
+    }
+}
+
+/// Top-level world configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorldConfig {
+    /// Number of organizations to generate.
+    pub n_orgs: usize,
+    /// Root seed.
+    pub seed: WorldSeed,
+    /// WHOIS noise rates.
+    pub whois: WhoisNoise,
+    /// Web noise rates.
+    pub web: WebNoise,
+    /// P(an organization owns one extra AS), applied geometrically — §5.3
+    /// measures ~21 new ASes/day from ~19 organizations (≈1.1 ASes/org).
+    pub extra_as_rate: f64,
+    /// Fraction of orgs whose WHOIS domain differs from their real one
+    /// (entity-disagreement seed).
+    pub wrong_domain_rate: f64,
+}
+
+impl WorldConfig {
+    /// A small world for unit tests (fast to generate).
+    pub fn small(seed: WorldSeed) -> WorldConfig {
+        WorldConfig {
+            n_orgs: 300,
+            seed,
+            whois: WhoisNoise::default(),
+            web: WebNoise::default(),
+            extra_as_rate: 0.12,
+            wrong_domain_rate: 0.03,
+        }
+    }
+
+    /// The canonical experiment world: large enough that 150-AS samples are
+    /// a small fraction, matching the paper's sampling regime.
+    pub fn standard(seed: WorldSeed) -> WorldConfig {
+        WorldConfig {
+            n_orgs: 4_000,
+            seed,
+            ..WorldConfig::small(seed)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_measurements() {
+        let w = WhoisNoise::default();
+        assert!((w.org_name_rate - 0.8019).abs() < 1e-9);
+        assert!((w.descr_rate - 0.2481).abs() < 1e-9);
+        assert!((w.address_rate - 0.617).abs() < 1e-9);
+        assert!((w.phone_rate - 0.45).abs() < 1e-9);
+        assert!((w.country_rate - 0.997).abs() < 1e-9);
+        assert!((w.domain_signal_rate - 0.871).abs() < 1e-9);
+        assert!((w.afrinic_obfuscate_rate - 0.92).abs() < 1e-9);
+        let web = WebNoise::default();
+        assert!((web.non_english_rate - 0.49).abs() < 1e-9);
+        assert!((web.live_site_rate - 0.90).abs() < 1e-9);
+    }
+
+    #[test]
+    fn standard_is_larger_than_small() {
+        let s = WorldConfig::small(WorldSeed::new(1));
+        let l = WorldConfig::standard(WorldSeed::new(1));
+        assert!(l.n_orgs > s.n_orgs);
+    }
+}

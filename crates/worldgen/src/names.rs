@@ -1,0 +1,248 @@
+//! Organization name, domain, and address fabrication.
+//!
+//! Names are composed from region-flavored syllables plus an industry word
+//! and a legal suffix, so entity resolution has realistic material to chew
+//! on: token overlap between the name and the website title, legal-suffix
+//! noise, and WHOIS name variants ("stale or abbreviated spellings").
+
+use asdb_model::{CountryCode, Domain, WorldSeed};
+use asdb_model::country::Region;
+use asdb_taxonomy::{Layer1, Layer2};
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{RngExt, SeedableRng};
+
+/// Name-stem syllables per region (loosely flavored, enough for variety).
+fn syllables(region: Region) -> &'static [&'static str] {
+    match region {
+        Region::NorthAmerica => &[
+            "nor", "tel", "ridge", "sum", "mid", "west", "lake", "front", "blue", "cedar",
+            "stone", "path", "clear", "gran", "pine",
+        ],
+        Region::Europe => &[
+            "euro", "nord", "alpen", "rhein", "balt", "iber", "gallo", "brit", "hansa", "vola",
+            "dan", "terra", "luma", "ost", "sud",
+        ],
+        Region::AsiaPacific => &[
+            "asia", "paci", "sun", "east", "lotus", "han", "mei", "koa", "sakura", "indo",
+            "mala", "kiwi", "orient", "taka", "ming",
+        ],
+        Region::Africa => &[
+            "afri", "sahel", "kili", "zam", "nile", "atlas", "savan", "cape", "lagos", "accra",
+            "mara", "benu", "kala", "tana", "zulu",
+        ],
+        Region::LatinAmerica => &[
+            "ande", "rio", "sol", "plata", "azte", "maya", "pampa", "selva", "luna", "brasil",
+            "quito", "inca", "tico", "austral", "cari",
+        ],
+    }
+}
+
+/// Industry words appended to names, by layer-1 category.
+fn industry_word(l1: Layer1, rng: &mut StdRng) -> &'static str {
+    let options: &[&str] = match l1 {
+        Layer1::ComputerAndIT => &["Telecom", "Networks", "Net", "Online", "Digital", "Communications"],
+        Layer1::Media => &["Media", "Broadcasting", "Press", "Publishing"],
+        Layer1::Finance => &["Bank", "Financial", "Capital", "Insurance"],
+        Layer1::Education => &["University", "Institute", "College", "Academy"],
+        Layer1::Service => &["Consulting", "Partners", "Associates", "Services"],
+        Layer1::Agriculture => &["Farms", "Mining", "Resources", "Agro"],
+        Layer1::Nonprofits => &["Foundation", "Society", "Alliance", "Trust"],
+        Layer1::Construction => &["Construction", "Builders", "Properties", "Realty"],
+        Layer1::Entertainment => &["Entertainment", "Museum", "Arena", "Gaming"],
+        Layer1::Utilities => &["Energy", "Power", "Water", "Utilities"],
+        Layer1::HealthCare => &["Health", "Medical", "Hospital", "Clinic"],
+        Layer1::Travel => &["Travel", "Hotels", "Airways", "Resorts"],
+        Layer1::Freight => &["Logistics", "Shipping", "Freight", "Express"],
+        Layer1::Government => &["Ministry", "Authority", "Agency", "Administration"],
+        Layer1::Retail => &["Retail", "Stores", "Market", "Trading"],
+        Layer1::Manufacturing => &["Industries", "Manufacturing", "Works", "Motors"],
+        Layer1::Other => &["Holdings", "Group", "Ventures", "Enterprises"],
+    };
+    options.choose(rng).copied().unwrap_or("Group")
+}
+
+/// Legal suffixes by region.
+fn legal_suffix(region: Region, rng: &mut StdRng) -> &'static str {
+    let options: &[&str] = match region {
+        Region::NorthAmerica => &["Inc", "LLC", "Corp", "Co"],
+        Region::Europe => &["GmbH", "AG", "Ltd", "BV", "SA", "SRL"],
+        Region::AsiaPacific => &["Pty Ltd", "KK", "Pte Ltd", "Ltd"],
+        Region::Africa => &["Ltd", "PLC", "Pty"],
+        Region::LatinAmerica => &["SA", "SRL", "Ltda"],
+    };
+    options.choose(rng).copied().unwrap_or("Ltd")
+}
+
+/// Country pool per region used when assigning registration countries.
+pub fn countries(region: Region) -> &'static [&'static str] {
+    match region {
+        Region::NorthAmerica => &["US", "US", "US", "CA"],
+        Region::Europe => &["DE", "GB", "FR", "NL", "RU", "IT", "ES", "PL", "SE", "UA", "CH", "RO"],
+        Region::AsiaPacific => &["CN", "JP", "IN", "AU", "KR", "ID", "SG", "HK", "TW", "VN"],
+        Region::Africa => &["ZA", "NG", "KE", "EG", "GH", "TZ", "MA"],
+        Region::LatinAmerica => &["BR", "AR", "MX", "CL", "CO", "PE", "EC"],
+    }
+}
+
+/// A fabricated identity: legal name, WHOIS variant, domain, address parts.
+#[derive(Debug, Clone)]
+pub struct Identity {
+    /// Full legal name ("Nortel Ridge Telecom LLC").
+    pub legal_name: String,
+    /// The stem without industry word or suffix ("Nortelridge").
+    pub stem: String,
+    /// Primary domain derived from the stem.
+    pub domain: Domain,
+    /// Registration country.
+    pub country: CountryCode,
+    /// Street address pieces.
+    pub street: String,
+    /// City name.
+    pub city: String,
+}
+
+/// Fabricate an identity for organization `index`.
+pub fn fabricate(index: u64, category: Layer2, region: Region, seed: WorldSeed) -> Identity {
+    let mut rng = StdRng::seed_from_u64(seed.derive_index("identity", index).value());
+    let syl = syllables(region);
+    let n_syl = rng.random_range(2..=3usize);
+    let stem: String = (0..n_syl)
+        .map(|_| *syl.choose(&mut rng).expect("non-empty syllable list"))
+        .collect();
+    let stem_cap = capitalize(&stem);
+    let industry = industry_word(category.layer1, &mut rng);
+    let suffix = legal_suffix(region, &mut rng);
+    let legal_name = format!("{stem_cap} {industry} {suffix}");
+    let tld = match region {
+        Region::NorthAmerica => "com",
+        Region::Europe => *["com", "net", "de", "eu", "uk"].choose(&mut rng).expect("non-empty"),
+        Region::AsiaPacific => *["com", "net", "cn", "jp", "in"].choose(&mut rng).expect("non-empty"),
+        Region::Africa => *["com", "za", "ng", "net"].choose(&mut rng).expect("non-empty"),
+        Region::LatinAmerica => *["com", "br", "ar", "mx", "net"].choose(&mut rng).expect("non-empty"),
+    };
+    let domain_label = format!("{}{}", stem.to_lowercase(), industry.to_lowercase().replace(' ', ""));
+    let domain = Domain::new(&format!("{domain_label}.{tld}"))
+        .unwrap_or_else(|_| Domain::new("fallback.example").expect("static domain valid"));
+    let country_code = countries(region)
+        .choose(&mut rng)
+        .expect("non-empty country pool");
+    let country = CountryCode::new(country_code).expect("pool codes valid");
+    let street = format!("{} {} St", rng.random_range(1..9999u32), capitalize(syl.choose(&mut rng).expect("non-empty")));
+    let city = capitalize(&format!(
+        "{}{}",
+        syl.choose(&mut rng).expect("non-empty"),
+        ["ville", "burg", "ton", " City", "port"].choose(&mut rng).expect("non-empty")
+    ));
+    Identity {
+        legal_name,
+        stem: stem_cap,
+        domain,
+        country,
+        street,
+        city,
+    }
+}
+
+/// A WHOIS name variant: abbreviations and dropped suffixes, the stale
+/// spellings that make exact-match entity resolution fail.
+pub fn whois_variant(legal_name: &str, index: u64, seed: WorldSeed) -> String {
+    let mut rng = StdRng::seed_from_u64(seed.derive_index("variant", index).value());
+    let tokens: Vec<&str> = legal_name.split_whitespace().collect();
+    match rng.random_range(0..3u8) {
+        // Drop the legal suffix.
+        0 if tokens.len() > 1 => tokens[..tokens.len() - 1].join(" "),
+        // Upper-case handle style: "NORTELRIDGE-NET".
+        1 => format!(
+            "{}-NET",
+            tokens.first().copied().unwrap_or("ORG").to_uppercase()
+        ),
+        // Abbreviate the industry word.
+        _ if tokens.len() >= 2 => {
+            let mut t: Vec<String> = tokens.iter().map(|s| (*s).to_owned()).collect();
+            let mid = t.len() - 2;
+            t[mid] = t[mid].chars().take(3).collect::<String>() + ".";
+            t.join(" ")
+        }
+        _ => legal_name.to_owned(),
+    }
+}
+
+fn capitalize(s: &str) -> String {
+    let mut c = s.chars();
+    match c.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asdb_taxonomy::naicslite::known;
+
+    #[test]
+    fn fabricate_is_deterministic() {
+        let a = fabricate(7, known::isp(), Region::Europe, WorldSeed::new(1));
+        let b = fabricate(7, known::isp(), Region::Europe, WorldSeed::new(1));
+        assert_eq!(a.legal_name, b.legal_name);
+        assert_eq!(a.domain, b.domain);
+    }
+
+    #[test]
+    fn different_indices_differ() {
+        let a = fabricate(1, known::isp(), Region::Europe, WorldSeed::new(1));
+        let b = fabricate(2, known::isp(), Region::Europe, WorldSeed::new(1));
+        assert_ne!(a.legal_name, b.legal_name);
+    }
+
+    #[test]
+    fn names_have_industry_flavor() {
+        let id = fabricate(3, known::banks(), Region::NorthAmerica, WorldSeed::new(2));
+        let lower = id.legal_name.to_lowercase();
+        assert!(
+            ["bank", "financial", "capital", "insurance"]
+                .iter()
+                .any(|w| lower.contains(w)),
+            "{}",
+            id.legal_name
+        );
+    }
+
+    #[test]
+    fn domains_are_valid_and_related_to_name() {
+        for i in 0..50 {
+            let id = fabricate(i, known::hosting(), Region::AsiaPacific, WorldSeed::new(3));
+            // Domain label shares the stem.
+            let stem_lower = id.stem.to_lowercase();
+            assert!(
+                id.domain.as_str().contains(&stem_lower),
+                "{} vs {}",
+                id.domain,
+                id.stem
+            );
+        }
+    }
+
+    #[test]
+    fn country_matches_region_pool() {
+        for region in Region::ALL {
+            let id = fabricate(9, known::isp(), region, WorldSeed::new(4));
+            assert!(countries(region).contains(&id.country.as_str()));
+        }
+    }
+
+    #[test]
+    fn variants_differ_but_share_tokens() {
+        let legal = "Nortel Ridge Telecom LLC";
+        let mut distinct = std::collections::HashSet::new();
+        for i in 0..20 {
+            let v = whois_variant(legal, i, WorldSeed::new(5));
+            distinct.insert(v.clone());
+            // Every variant shares at least the first stem token (case-
+            // insensitively).
+            assert!(v.to_lowercase().contains("nortel"), "{v}");
+        }
+        assert!(distinct.len() >= 2, "variants should vary");
+    }
+}

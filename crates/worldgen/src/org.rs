@@ -1,0 +1,133 @@
+//! Organization and AS-registration records.
+
+use asdb_model::{Asn, CountryCode, Date, Domain, OrgId, OrgName, Rir};
+use asdb_rir::dialect::Registration;
+use asdb_rir::ParsedWhois;
+use asdb_taxonomy::{Category, CategorySet, Layer2};
+use asdb_websim::{Language, SiteQuirks};
+use serde::{Deserialize, Serialize};
+
+/// An AS-owning organization — the ground truth the whole evaluation is
+/// scored against.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Organization {
+    /// Stable identifier.
+    pub id: OrgId,
+    /// Full legal name.
+    pub legal_name: OrgName,
+    /// The (possibly stale/abbreviated) name that appears in WHOIS.
+    pub whois_name: OrgName,
+    /// Primary true category.
+    pub category: Layer2,
+    /// Secondary category for multi-service organizations — the source of
+    /// "nuanced disagreement … when technology companies offer multiple
+    /// services (e.g., ISP, Hosting, Cell)" (§3.4).
+    pub secondary: Option<Layer2>,
+    /// Registration country.
+    pub country: CountryCode,
+    /// The organization's real domain, if it has one ("17% of all hosting
+    /// providers do not have domains", §5.2).
+    pub domain: Option<Domain>,
+    /// Whether the domain hosts a working website.
+    pub live_site: bool,
+    /// Site language.
+    pub language: Language,
+    /// Site quirks.
+    pub quirks: SiteQuirks,
+    /// Street address.
+    pub street: String,
+    /// City.
+    pub city: String,
+    /// Contact phone.
+    pub phone: String,
+    /// Founding date (drives Crunchbase's startup skew).
+    pub founded: Date,
+    /// Headcount (drives D&B coverage, which skews to established firms).
+    pub employees: u32,
+    /// Whether the org is a US-style venture-backed startup (Crunchbase's
+    /// sweet spot: it "focuses more on startups and specifically US
+    /// companies").
+    pub startup: bool,
+}
+
+impl Organization {
+    /// The organization's true label set: primary plus any secondary.
+    pub fn truth(&self) -> CategorySet {
+        let mut set = CategorySet::single(Category::l2(self.category));
+        if let Some(s) = self.secondary {
+            set.insert(Category::l2(s));
+        }
+        set
+    }
+
+    /// Whether the org is (primarily) a technology company.
+    pub fn is_tech(&self) -> bool {
+        self.category.layer1.is_tech()
+    }
+}
+
+/// One AS registration: the link between an ASN and its owner, plus the
+/// WHOIS that registration produced.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AsRecord {
+    /// The AS number.
+    pub asn: Asn,
+    /// Owning organization.
+    pub org: OrgId,
+    /// The registry it was registered at.
+    pub rir: Rir,
+    /// Registration date.
+    pub registered: Date,
+    /// The registry-neutral registration data (before dialect rendering).
+    pub registration: Registration,
+    /// The Appendix-A extraction of the rendered WHOIS record — what the
+    /// ASdb pipeline actually consumes.
+    pub parsed: ParsedWhois,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asdb_taxonomy::naicslite::known;
+    use asdb_taxonomy::Layer1;
+
+    fn org() -> Organization {
+        Organization {
+            id: OrgId::new(1),
+            legal_name: OrgName::new("Test Networks LLC"),
+            whois_name: OrgName::new("Test Networks"),
+            category: known::isp(),
+            secondary: Some(known::hosting()),
+            country: CountryCode::new("US").unwrap(),
+            domain: Some(Domain::new("testnetworks.com").unwrap()),
+            live_site: true,
+            language: Language::English,
+            quirks: SiteQuirks::default(),
+            street: "1 Main St".into(),
+            city: "Springfield".into(),
+            phone: "+1-555-0000".into(),
+            founded: Date::from_ymd(2001, 6, 1).unwrap(),
+            employees: 250,
+            startup: false,
+        }
+    }
+
+    #[test]
+    fn truth_includes_secondary() {
+        let o = org();
+        let t = o.truth();
+        assert_eq!(t.layer2s().len(), 2);
+        assert!(t.layer2s().contains(&known::isp()));
+        assert!(t.layer2s().contains(&known::hosting()));
+        assert!(o.is_tech());
+    }
+
+    #[test]
+    fn truth_single_when_no_secondary() {
+        let mut o = org();
+        o.secondary = None;
+        o.category = Layer2::new(Layer1::Finance, 0).unwrap();
+        assert_eq!(o.truth().len(), 1);
+        assert!(!o.is_tech());
+    }
+}

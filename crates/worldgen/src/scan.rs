@@ -1,0 +1,113 @@
+//! Service-exposure model for the conclusion's Telnet case study.
+//!
+//! "We join ASdb's dataset with an Internet Telnet scan … and alarmingly
+//! find that critical-infrastructure organizations like electric utility
+//! companies, government organizations, and financial institutions are
+//! more likely to host Telnet than technology companies" (§6).
+//!
+//! The model assigns each AS a probability of exposing Telnet based on its
+//! owner's industry — high for legacy-heavy critical infrastructure, low
+//! for technology companies that deploy modern remote administration.
+
+use crate::world::World;
+use asdb_model::{Asn, WorldSeed};
+use asdb_taxonomy::Layer1;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Probability that an AS in the given industry exposes at least one
+/// Telnet service to a 1%-sample scan.
+pub fn telnet_exposure_rate(l1: Layer1) -> f64 {
+    match l1 {
+        // Critical infrastructure: legacy serial-console gear abounds.
+        Layer1::Utilities => 0.32,
+        Layer1::Government => 0.26,
+        Layer1::Finance => 0.22,
+        Layer1::Manufacturing => 0.20,
+        Layer1::HealthCare => 0.17,
+        Layer1::Freight => 0.16,
+        Layer1::Agriculture => 0.15,
+        Layer1::Construction => 0.13,
+        Layer1::Travel => 0.12,
+        Layer1::Retail => 0.12,
+        Layer1::Education => 0.11,
+        Layer1::Service => 0.10,
+        Layer1::Entertainment => 0.10,
+        Layer1::Media => 0.09,
+        Layer1::Nonprofits => 0.09,
+        // Technology companies run the *least* Telnet.
+        Layer1::ComputerAndIT => 0.06,
+        Layer1::Other => 0.08,
+    }
+}
+
+/// One AS's scan observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScanObservation {
+    /// The AS scanned.
+    pub asn: Asn,
+    /// Whether any Telnet banner was observed.
+    pub telnet: bool,
+}
+
+/// Run the simulated LZR-style scan over a world.
+pub fn scan_world(world: &World, seed: WorldSeed) -> Vec<ScanObservation> {
+    let mut rng = StdRng::seed_from_u64(seed.derive("telnet-scan").value());
+    world
+        .ases
+        .iter()
+        .map(|rec| {
+            let rate = world
+                .org(rec.org)
+                .map(|o| telnet_exposure_rate(o.category.layer1))
+                .unwrap_or(0.1);
+            ScanObservation {
+                asn: rec.asn,
+                telnet: rng.random_bool(rate),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+
+    #[test]
+    fn critical_infrastructure_exceeds_tech() {
+        assert!(telnet_exposure_rate(Layer1::Utilities) > telnet_exposure_rate(Layer1::ComputerAndIT));
+        assert!(telnet_exposure_rate(Layer1::Government) > telnet_exposure_rate(Layer1::ComputerAndIT));
+        assert!(telnet_exposure_rate(Layer1::Finance) > telnet_exposure_rate(Layer1::ComputerAndIT));
+    }
+
+    #[test]
+    fn scan_covers_all_ases_and_is_deterministic() {
+        let w = World::generate(WorldConfig::small(WorldSeed::new(3)));
+        let a = scan_world(&w, WorldSeed::new(9));
+        let b = scan_world(&w, WorldSeed::new(9));
+        assert_eq!(a.len(), w.ases.len());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn observed_rates_follow_model() {
+        let w = World::generate(WorldConfig::standard(WorldSeed::new(4)));
+        let scan = scan_world(&w, WorldSeed::new(10));
+        let mut tech = (0usize, 0usize);
+        let mut nontech = (0usize, 0usize);
+        for obs in &scan {
+            let is_tech = w.org_of(obs.asn).map(|o| o.is_tech()).unwrap_or(false);
+            let slot = if is_tech { &mut tech } else { &mut nontech };
+            slot.0 += usize::from(obs.telnet);
+            slot.1 += 1;
+        }
+        let tech_rate = tech.0 as f64 / tech.1 as f64;
+        let nontech_rate = nontech.0 as f64 / nontech.1 as f64;
+        assert!(
+            nontech_rate > tech_rate * 1.5,
+            "nontech {nontech_rate} vs tech {tech_rate}"
+        );
+    }
+}

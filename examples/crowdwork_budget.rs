@@ -1,0 +1,73 @@
+//! Reproduce the Appendix B crowdwork economics: the reward sweep, the
+//! consensus sweep, the wage analysis, and the two budget estimates that
+//! led the authors to drop crowdwork from ASdb.
+//!
+//! ```sh
+//! cargo run --release --example crowdwork_budget
+//! ```
+
+use asdb_crowd::cost::CostModel;
+use asdb_eval::crowd_eval::{consensus_sweep, reward_sweep, wage_tasks};
+use asdb_eval::ExperimentContext;
+use asdb_model::WorldSeed;
+use asdb_taxonomy::Layer1;
+use asdb_worldgen::WorldConfig;
+
+fn main() {
+    let ctx = ExperimentContext::build(WorldConfig::small(WorldSeed::DEFAULT));
+    let tech = wage_tasks(&ctx.world, &ctx.gold, Layer1::ComputerAndIT, 20);
+    let finance = wage_tasks(&ctx.world, &ctx.uniform, Layer1::Finance, 20);
+
+    println!("Reward sweep (Figures 5a/5b/6): 3 workers, 2/3 consensus\n");
+    println!(
+        "{:<10} {:>6} {:>9} {:>10} {:>10} {:>12}",
+        "tasks", "reward", "coverage", "loose", "strict", "median wage"
+    );
+    for (label, tasks) in [("tech", &tech), ("finance", &finance)] {
+        for p in reward_sweep(tasks, &format!("budget-{label}"), ctx.seed) {
+            println!(
+                "{:<10} {:>5}c {:>8.0}% {:>9.0}% {:>9.0}% {:>9.2} $/h",
+                label,
+                p.reward_cents,
+                p.coverage * 100.0,
+                p.loose_accuracy * 100.0,
+                p.strict_accuracy * 100.0,
+                p.median_wage
+            );
+        }
+    }
+
+    println!("\nConsensus sweep (Figure 7): 30c fixed reward\n");
+    for p in consensus_sweep(&tech, "budget-consensus", ctx.seed) {
+        println!(
+            "{}/{}: coverage {:.0}%, loose {:.0}%, strict {:.0}%",
+            p.rule.k,
+            p.rule.n,
+            p.coverage * 100.0,
+            p.loose_accuracy * 100.0,
+            p.strict_accuracy * 100.0
+        );
+    }
+
+    println!("\nScaling the two candidate uses to all registered ASes:\n");
+    let ml = CostModel::ml_failure_review();
+    let dis = CostModel::disagreement_resolution();
+    println!(
+        "  Catching ML false negatives : {:>6} ASes x {} workers x {}c = ${:>8.0}",
+        ml.tasks(),
+        ml.workers_per_task,
+        ml.reward_cents,
+        ml.total_dollars()
+    );
+    println!(
+        "  Resolving source conflicts  : {:>6} ASes x {} workers x {}c = ${:>8.0}",
+        dis.tasks(),
+        dis.workers_per_task,
+        dis.reward_cents,
+        dis.total_dollars()
+    );
+    println!(
+        "\nThe paper's verdict: \"the accuracy gain from crowdwork is not \
+         worth the cost, and we omit crowdwork from our final system design.\""
+    );
+}

@@ -1,0 +1,53 @@
+//! Quickstart: build a world, assemble ASdb, classify a handful of ASes.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use asdb_core::AsdbSystem;
+use asdb_model::WorldSeed;
+use asdb_worldgen::{World, WorldConfig};
+
+fn main() {
+    let seed = WorldSeed::DEFAULT;
+    println!("Generating a synthetic AS universe (seed {seed})...");
+    let world = World::generate(WorldConfig::small(seed));
+    println!(
+        "  {} organizations, {} ASes, {} live websites",
+        world.orgs.len(),
+        world.ases.len(),
+        world.web.len()
+    );
+
+    println!("Assembling ASdb (5 data sources + 2 ML classifiers)...");
+    let system = AsdbSystem::build(&world, seed.derive("quickstart"));
+
+    println!("Classifying 10 random ASes:\n");
+    for asn in world.sample_asns(10, "quickstart") {
+        let record = world.as_record(asn).expect("sampled AS exists");
+        let result = system.classify(&record.parsed);
+        let truth = world.org_of(asn).expect("owner exists").truth();
+        println!("{asn}  [{}]", result.stage.label());
+        println!("  WHOIS name : {}", record.parsed.name);
+        println!(
+            "  domain     : {}",
+            result
+                .chosen_domain
+                .as_ref()
+                .map(ToString::to_string)
+                .unwrap_or_else(|| "-".into())
+        );
+        println!("  ASdb says  : {}", result.categories);
+        println!("  truth      : {truth}");
+        println!(
+            "  sources    : {}",
+            result
+                .sources
+                .iter()
+                .map(|s| s.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        println!();
+    }
+}

@@ -1,0 +1,67 @@
+//! The paper's closing case study (§6): join ASdb's classifications with a
+//! simulated LZR-style Telnet scan and ask which industries expose the
+//! legacy protocol — "alarmingly … critical-infrastructure organizations
+//! like electric utility companies, government organizations, and
+//! financial institutions are more likely to host Telnet than technology
+//! companies."
+//!
+//! Crucially, the join uses *ASdb's own labels*, not ground truth — this is
+//! the kind of analysis the dataset exists to enable.
+//!
+//! ```sh
+//! cargo run --release --example telnet_exposure
+//! ```
+
+use asdb_core::AsdbSystem;
+use asdb_model::WorldSeed;
+use asdb_taxonomy::Layer1;
+use asdb_worldgen::scan::scan_world;
+use asdb_worldgen::{World, WorldConfig};
+use std::collections::HashMap;
+
+fn main() {
+    let seed = WorldSeed::DEFAULT;
+    let world = World::generate(WorldConfig::standard(seed));
+    let system = AsdbSystem::build(&world, seed.derive("telnet"));
+    let scan = scan_world(&world, seed.derive("scan"));
+    println!(
+        "Joining {} scan observations with ASdb classifications...\n",
+        scan.len()
+    );
+
+    let mut per_industry: HashMap<Layer1, (usize, usize)> = HashMap::new();
+    for obs in &scan {
+        let record = world.as_record(obs.asn).expect("scanned AS exists");
+        let c = system.classify(&record.parsed);
+        // Join on ASdb's label (first layer-1), as a downstream user would.
+        let Some(l1) = c.categories.layer1s().into_iter().next() else {
+            continue;
+        };
+        let e = per_industry.entry(l1).or_insert((0, 0));
+        e.0 += usize::from(obs.telnet);
+        e.1 += 1;
+    }
+
+    let mut rows: Vec<(Layer1, f64, usize)> = per_industry
+        .into_iter()
+        .filter(|(_, (_, n))| *n >= 20)
+        .map(|(l1, (hits, n))| (l1, hits as f64 / n as f64, n))
+        .collect();
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("rates are finite"));
+
+    println!("{:<50} {:>10} {:>8}", "Industry (per ASdb)", "Telnet", "ASes");
+    println!("{}", "-".repeat(72));
+    for (l1, rate, n) in &rows {
+        println!("{:<50} {:>9.1}% {:>8}", l1.title(), rate * 100.0, n);
+    }
+
+    let tech = rows.iter().find(|(l1, _, _)| l1.is_tech());
+    let top = rows.first();
+    if let (Some((top_l1, top_rate, _)), Some((_, tech_rate, _))) = (top, tech) {
+        println!(
+            "\n{} exposes Telnet {:.1}x more often than technology companies.",
+            top_l1.title(),
+            top_rate / tech_rate.max(0.001)
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Experiment-harness integration: every paper table/figure runner renders
+//! over a shared small context, and the headline *shape* claims hold.
+
+use asdb_eval::{experiments, ExperimentContext};
+use asdb_model::WorldSeed;
+use asdb_worldgen::WorldConfig;
+use std::sync::OnceLock;
+
+fn ctx() -> &'static ExperimentContext {
+    static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+    CTX.get_or_init(|| ExperimentContext::build(WorldConfig::small(WorldSeed::new(777))))
+}
+
+#[test]
+fn full_reproduction_report_renders() {
+    let c = ctx();
+    let report = experiments::run_all(c);
+    for section in [
+        "Figure 1",
+        "Table 2",
+        "Table 3",
+        "Table 4",
+        "Figure 2",
+        "Table 5",
+        "Table 6",
+        "Table 7",
+        "Table 8",
+        "Table 9",
+        "Table 10",
+        "Table 11",
+        "Figures 5a/5b/6",
+        "Figure 7",
+        "Maintenance",
+        "Telnet",
+        "Background",
+        "Ablations",
+    ] {
+        assert!(
+            report.contains(section),
+            "missing section {section} in:\n{report}"
+        );
+    }
+    // The report is substantial (all tables rendered with rows).
+    assert!(report.lines().count() > 120, "report too short");
+}
+
+#[test]
+fn figure1_shape_holds_at_small_scale() {
+    let c = ctx();
+    let report = experiments::fig1(c);
+    // Both systems' rows render with four percentage cells.
+    assert!(report.contains("NAICS"));
+    assert!(report.contains("NAICSlite"));
+}
+
+#[test]
+fn table8_headline_claims_hold_at_small_scale() {
+    let c = ctx();
+    use asdb_eval::system_eval::table8;
+    let t = table8(&c.world, &c.test, &c.system);
+    assert!(t.layer1.0 > 0.85, "L1 coverage = {}", t.layer1.0);
+    assert!(t.layer1.1 > 0.80, "L1 accuracy = {}", t.layer1.1);
+    assert!(t.layer2.1 < t.layer1.1, "L2 must be harder than L1");
+}
+
+#[test]
+fn table7_asdb_dominates_at_small_scale() {
+    let c = ctx();
+    use asdb_eval::system_eval::table7;
+    let rows = table7(&c.world, &c.test, &c.system);
+    let mut asdb_wins = 0usize;
+    let mut contested = 0usize;
+    for r in rows {
+        if r.n < 5 {
+            continue;
+        }
+        contested += 1;
+        if r.asdb >= r.ipinfo && r.asdb >= r.peeringdb {
+            asdb_wins += 1;
+        }
+    }
+    assert!(contested > 0);
+    assert_eq!(asdb_wins, contested, "ASdb must win every contested class");
+}
+
+#[test]
+fn reports_are_deterministic() {
+    let c = ctx();
+    assert_eq!(experiments::fig1(c), experiments::fig1(c));
+    assert_eq!(experiments::tab3(c), experiments::tab3(c));
+    assert_eq!(experiments::tab6(c), experiments::tab6(c));
+}
