@@ -63,28 +63,66 @@ impl BaumannClass {
     fn keywords(self) -> &'static [&'static str] {
         match self {
             BaumannClass::Communication => &[
-                "telecom", "communications", "network", "networks", "internet", "broadband",
-                "media", "broadcasting", "telekom", "online", "digital", "net", "hosting",
+                "telecom",
+                "communications",
+                "network",
+                "networks",
+                "internet",
+                "broadband",
+                "media",
+                "broadcasting",
+                "telekom",
+                "online",
+                "digital",
+                "net",
+                "hosting",
             ],
             BaumannClass::Construction => &[
-                "construction", "builders", "building", "properties", "realty", "estate",
+                "construction",
+                "builders",
+                "building",
+                "properties",
+                "realty",
+                "estate",
             ],
             BaumannClass::Consulting => &["consulting", "partners", "associates", "advisory"],
             BaumannClass::Education => &[
-                "university", "college", "school", "institute", "academy", "education",
+                "university",
+                "college",
+                "school",
+                "institute",
+                "academy",
+                "education",
             ],
             BaumannClass::Entertainment => &[
-                "entertainment", "museum", "gaming", "casino", "sports", "arena",
+                "entertainment",
+                "museum",
+                "gaming",
+                "casino",
+                "sports",
+                "arena",
             ],
             BaumannClass::Finance => &[
-                "bank", "financial", "finance", "capital", "insurance", "invest",
+                "bank",
+                "financial",
+                "finance",
+                "capital",
+                "insurance",
+                "invest",
             ],
             BaumannClass::Healthcare => &["hospital", "health", "medical", "clinic", "care"],
             BaumannClass::Transport => &[
-                "logistics", "shipping", "freight", "express", "transport", "railways",
+                "logistics",
+                "shipping",
+                "freight",
+                "express",
+                "transport",
+                "railways",
             ],
             BaumannClass::Travel => &["hotel", "hotels", "travel", "airways", "resorts", "tourism"],
-            BaumannClass::Utilities => &["energy", "power", "water", "gas", "utilities", "electric"],
+            BaumannClass::Utilities => {
+                &["energy", "power", "water", "gas", "utilities", "electric"]
+            }
         }
     }
 

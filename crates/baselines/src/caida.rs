@@ -74,15 +74,42 @@ impl std::fmt::Display for CaidaClass {
 /// text. Deliberately of-its-era: these are the kinds of token lists the
 /// 2006 work used, which is also why its accuracy decays on modern WHOIS.
 static TRANSIT_KEYWORDS: &[&str] = &[
-    "telecom", "communications", "network", "networks", "net", "isp", "internet", "broadband",
-    "telekom", "telecommunications", "carrier", "backbone", "exchange",
+    "telecom",
+    "communications",
+    "network",
+    "networks",
+    "net",
+    "isp",
+    "internet",
+    "broadband",
+    "telekom",
+    "telecommunications",
+    "carrier",
+    "backbone",
+    "exchange",
 ];
 static UNIVERSITY_KEYWORDS: &[&str] = &[
-    "university", "college", "institute", "academy", "school", "education", "research",
+    "university",
+    "college",
+    "institute",
+    "academy",
+    "school",
+    "education",
+    "research",
 ];
 static CONTENT_KEYWORDS: &[&str] = &[
-    "hosting", "host", "datacenter", "cloud", "server", "colocation", "media", "broadcasting",
-    "publishing", "online", "digital", "web",
+    "hosting",
+    "host",
+    "datacenter",
+    "cloud",
+    "server",
+    "colocation",
+    "media",
+    "broadcasting",
+    "publishing",
+    "online",
+    "digital",
+    "web",
 ];
 static IXP_KEYWORDS: &[&str] = &["ixp", "exchange point", "peering"];
 
@@ -100,10 +127,7 @@ impl CaidaClassifier {
         text.push_str(&whois.as_name.to_lowercase());
         let score = |keys: &[&str]| -> usize {
             keys.iter()
-                .filter(|k| {
-                    text.split(|c: char| !c.is_alphanumeric())
-                        .any(|t| t == **k)
-                })
+                .filter(|k| text.split(|c: char| !c.is_alphanumeric()).any(|t| t == **k))
                 .count()
         };
         let transit = score(TRANSIT_KEYWORDS) + score(IXP_KEYWORDS);
@@ -112,9 +136,26 @@ impl CaidaClassifier {
         // "Enterprise" was effectively the residual class for records with
         // *some* recognizable business token; full abstention otherwise.
         let business_tokens = [
-            "bank", "insurance", "hospital", "government", "ministry", "industries",
-            "manufacturing", "logistics", "energy", "power", "farms", "stores", "group",
-            "consulting", "services", "corp", "inc", "llc", "gmbh", "ltd",
+            "bank",
+            "insurance",
+            "hospital",
+            "government",
+            "ministry",
+            "industries",
+            "manufacturing",
+            "logistics",
+            "energy",
+            "power",
+            "farms",
+            "stores",
+            "group",
+            "consulting",
+            "services",
+            "corp",
+            "inc",
+            "llc",
+            "gmbh",
+            "ltd",
         ];
         let enterprise = score(&business_tokens);
 
@@ -163,7 +204,9 @@ mod tests {
         for rec in &w.ases {
             let org = w.org(rec.org).unwrap();
             let truth = CaidaClass::project(&org.truth());
-            let Some(pred) = clf.classify(&rec.parsed) else { continue };
+            let Some(pred) = clf.classify(&rec.parsed) else {
+                continue;
+            };
             covered += 1;
             let idx = CaidaClass::ALL.iter().position(|c| *c == truth).unwrap();
             per_class_n[idx] += 1;
@@ -180,10 +223,8 @@ mod tests {
         // transit.
         assert!(coverage > 0.5 && coverage < 0.98, "coverage = {coverage}");
         assert!(accuracy > 0.45 && accuracy < 0.92, "accuracy = {accuracy}");
-        let content_acc =
-            per_class_ok[2] as f64 / per_class_n[2].max(1) as f64;
-        let transit_acc =
-            per_class_ok[0] as f64 / per_class_n[0].max(1) as f64;
+        let content_acc = per_class_ok[2] as f64 / per_class_n[2].max(1) as f64;
+        let transit_acc = per_class_ok[0] as f64 / per_class_n[0].max(1) as f64;
         assert!(
             content_acc < transit_acc,
             "content {content_acc} should trail transit {transit_acc}"

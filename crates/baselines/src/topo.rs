@@ -64,8 +64,7 @@ impl TopoClass {
             TopoClass::SmallTransit
         } else if l2s.contains(&known::hosting()) {
             TopoClass::AccessHosting
-        } else if l2s.contains(&known::search_engine())
-            || labels.layer1s().contains(&Layer1::Media)
+        } else if l2s.contains(&known::search_engine()) || labels.layer1s().contains(&Layer1::Media)
         {
             TopoClass::Content
         } else {

@@ -39,17 +39,13 @@ fn bench_domain_strategies(c: &mut Criterion) {
         ("least_common", DomainStrategy::LeastCommon),
         ("most_similar", DomainStrategy::MostSimilar),
     ] {
-        group.bench_with_input(
-            BenchmarkId::new("select_100", label),
-            &strategy,
-            |b, &s| {
-                b.iter(|| {
-                    for (cands, name) in &inputs {
-                        black_box(select_domain(cands, name, s, &ctx.world.web, ctx.seed));
-                    }
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("select_100", label), &strategy, |b, &s| {
+            b.iter(|| {
+                for (cands, name) in &inputs {
+                    black_box(select_domain(cands, name, s, &ctx.world.web, ctx.seed));
+                }
+            })
+        });
     }
     group.finish();
 }

@@ -24,9 +24,7 @@ fn bench_tables(c: &mut Criterion) {
     group.bench_function("tab6_classifiers", |b| {
         b.iter(|| black_box(experiments::tab6(ctx)))
     });
-    group.bench_function("tab7_f1", |b| {
-        b.iter(|| black_box(experiments::tab7(ctx)))
-    });
+    group.bench_function("tab7_f1", |b| b.iter(|| black_box(experiments::tab7(ctx))));
     group.bench_function("tab8_stages", |b| {
         b.iter(|| black_box(experiments::tab8(ctx)))
     });

@@ -106,6 +106,22 @@ fn bench_throughput(c: &mut Criterion) {
         .take(64)
         .map(|r| r.parsed.clone())
         .collect();
+
+    // Telemetry reconciliation: the stage counters must account for
+    // exactly the records a batch processes — the observability layer's
+    // core invariant, checked here against the real pipeline before any
+    // timing happens.
+    {
+        let before = ctx.system.metrics().stage_total();
+        let out = classify_batch(&ctx.system, &records, 4);
+        let after = ctx.system.metrics().stage_total();
+        assert_eq!(
+            after - before,
+            out.len() as u64,
+            "stage counters must reconcile with records processed"
+        );
+    }
+
     for threads in [1usize, 2, 4, 8] {
         group.bench_with_input(
             BenchmarkId::new("batch_classify_64", threads),
@@ -113,6 +129,17 @@ fn bench_throughput(c: &mut Criterion) {
             |b, &t| b.iter(|| black_box(classify_batch(&ctx.system, &records, t))),
         );
     }
+
+    // Instrumentation overhead: the same batch with telemetry recording
+    // turned into a no-op. The delta between this and
+    // batch_classify_64/4 is the cost of the metrics layer (required:
+    // < 5%).
+    ctx.system.metrics().set_enabled(false);
+    group.bench_function("batch_classify_64_noop_metrics", |b| {
+        b.iter(|| black_box(classify_batch(&ctx.system, &records, 4)))
+    });
+    ctx.system.metrics().set_enabled(true);
+
     group.finish();
 }
 

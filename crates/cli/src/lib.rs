@@ -57,6 +57,8 @@ pub enum Command {
         out: Option<String>,
         /// Worker threads.
         threads: usize,
+        /// Optional path to dump the telemetry snapshot (JSON).
+        metrics_out: Option<String>,
     },
     /// `asdb lookup` — classify one AS and explain every pipeline step.
     Lookup {
@@ -66,6 +68,20 @@ pub enum Command {
         seed: u64,
         /// The AS to explain.
         asn: Asn,
+        /// Optional path to dump the telemetry snapshot (JSON).
+        metrics_out: Option<String>,
+    },
+    /// `asdb metrics` — classify a world and print the full telemetry
+    /// report (stage counters, source hit rates, cache reuse, latency).
+    Metrics {
+        /// World scale.
+        scale: Scale,
+        /// Seed.
+        seed: u64,
+        /// Worker threads.
+        threads: usize,
+        /// Optional path to dump the telemetry snapshot (JSON).
+        metrics_out: Option<String>,
     },
     /// `asdb report` — regenerate the paper's tables and figures.
     Report {
@@ -96,12 +112,20 @@ asdb — reproduction of 'ASdb: A System for Classifying Owners of Autonomous Sy
 
 USAGE:
   asdb generate [--scale small|standard] [--seed N] [--whois-out FILE]
-  asdb classify [--scale small|standard] [--seed N] [--asn N]... [--out FILE] [--threads N]
-  asdb lookup   --asn N [--scale small|standard] [--seed N]
+  asdb classify [--scale small|standard] [--seed N] [--asn N]... [--out FILE] [--threads N] [--metrics FILE]
+  asdb lookup   --asn N [--scale small|standard] [--seed N] [--metrics FILE]
+  asdb metrics  [--scale small|standard] [--seed N] [--threads N] [--metrics FILE]
   asdb report   [--scale small|standard] [--seed N]
   asdb help
 
 Defaults: --scale small, --seed = the canonical experiment seed, --threads 4.
+
+The metrics subcommand classifies every AS in the world (with the
+organization cache) and prints the pipeline telemetry report: per-stage
+counters (Table 8's rows), per-source query/match/reject counts, domain-
+selection outcomes, ML fire/override counts, cache hit rate, and latency
+histograms. On classify-style commands, --metrics FILE writes the same
+data as a JSON registry snapshot after the run.
 ";
 
 impl Command {
@@ -114,6 +138,7 @@ impl Command {
         let mut seed = WorldSeed::DEFAULT.value();
         let mut whois_out: Option<String> = None;
         let mut out: Option<String> = None;
+        let mut metrics_out: Option<String> = None;
         let mut asns: Vec<Asn> = Vec::new();
         let mut threads = 4usize;
 
@@ -145,6 +170,7 @@ impl Command {
                 }
                 "--whois-out" => whois_out = Some(value(&mut i, "--whois-out")?),
                 "--out" => out = Some(value(&mut i, "--out")?),
+                "--metrics" => metrics_out = Some(value(&mut i, "--metrics")?),
                 "--asn" => {
                     let v = value(&mut i, "--asn")?;
                     asns.push(
@@ -175,13 +201,25 @@ impl Command {
                 asns,
                 out,
                 threads,
+                metrics_out,
             }),
             "lookup" => {
                 let asn = *asns
                     .first()
                     .ok_or_else(|| CliError("lookup requires --asn N".into()))?;
-                Ok(Command::Lookup { scale, seed, asn })
+                Ok(Command::Lookup {
+                    scale,
+                    seed,
+                    asn,
+                    metrics_out,
+                })
             }
+            "metrics" => Ok(Command::Metrics {
+                scale,
+                seed,
+                threads,
+                metrics_out,
+            }),
             "report" => Ok(Command::Report { scale, seed }),
             "help" | "--help" | "-h" => Ok(Command::Help),
             other => Err(CliError(format!("unknown command {other:?}"))),
@@ -225,7 +263,11 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> {
                     .collect();
                 let text = asdb_rir::dump::write_dump(&rendered);
                 std::fs::write(&path, &text)?;
-                writeln!(out, "WHOIS dump written to {path} ({} KiB)", text.len() / 1024)?;
+                writeln!(
+                    out,
+                    "WHOIS dump written to {path} ({} KiB)",
+                    text.len() / 1024
+                )?;
             }
             Ok(0)
         }
@@ -235,6 +277,7 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> {
             asns,
             out: out_path,
             threads,
+            metrics_out,
         } => {
             let seed = WorldSeed::new(seed);
             let world = World::generate(scale.config(seed));
@@ -273,13 +316,26 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> {
                         writeln!(out, "{}  [{}]  {}", c.asn, c.stage.label(), c.categories)?;
                     }
                     if results.len() > 20 {
-                        writeln!(out, "… ({} more; use --out FILE for the full dump)", results.len() - 20)?;
+                        writeln!(
+                            out,
+                            "… ({} more; use --out FILE for the full dump)",
+                            results.len() - 20
+                        )?;
                     }
                 }
             }
+            if let Some(path) = metrics_out {
+                std::fs::write(&path, system.metrics_json())?;
+                writeln!(out, "metrics snapshot written to {path}")?;
+            }
             Ok(0)
         }
-        Command::Lookup { scale, seed, asn } => {
+        Command::Lookup {
+            scale,
+            seed,
+            asn,
+            metrics_out,
+        } => {
             let seed = WorldSeed::new(seed);
             let world = World::generate(scale.config(seed));
             let Some(rec) = world.as_record(asn) else {
@@ -309,19 +365,49 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> {
                     .unwrap_or_else(|| "-".into())
             )?;
             if let Some(v) = &c.ml {
-                writeln!(out, "  ML         : p_isp={:.2} p_hosting={:.2}", v.p_isp, v.p_hosting)?;
+                writeln!(
+                    out,
+                    "  ML         : p_isp={:.2} p_hosting={:.2}",
+                    v.p_isp, v.p_hosting
+                )?;
             }
             for (src, labels) in &c.match_labels {
                 writeln!(out, "  {src:<10} : {labels}")?;
             }
             writeln!(out, "  stage      : {}", c.stage.label())?;
             writeln!(out, "  verdict    : {}", c.categories)?;
+            if let Some(path) = metrics_out {
+                std::fs::write(&path, system.metrics_json())?;
+                writeln!(out, "metrics snapshot written to {path}")?;
+            }
+            Ok(0)
+        }
+        Command::Metrics {
+            scale,
+            seed,
+            threads,
+            metrics_out,
+        } => {
+            let seed = WorldSeed::new(seed);
+            let world = World::generate(scale.config(seed));
+            let system = AsdbSystem::build(&world, seed.derive("cli"));
+            let records: Vec<_> = world.ases.iter().map(|r| r.parsed.clone()).collect();
+            let results = classify_batch_cached(&system, &records, threads);
+            writeln!(
+                out,
+                "classified {} ASes across {} threads\n",
+                results.len(),
+                threads
+            )?;
+            writeln!(out, "{}", system.metrics_text())?;
+            if let Some(path) = metrics_out {
+                std::fs::write(&path, system.metrics_json())?;
+                writeln!(out, "metrics snapshot written to {path}")?;
+            }
             Ok(0)
         }
         Command::Report { scale, seed } => {
-            let ctx = asdb_eval::ExperimentContext::build(
-                scale.config(WorldSeed::new(seed)),
-            );
+            let ctx = asdb_eval::ExperimentContext::build(scale.config(WorldSeed::new(seed)));
             writeln!(out, "{}", asdb_eval::experiments::run_all(&ctx))?;
             Ok(0)
         }
@@ -354,8 +440,21 @@ mod tests {
     #[test]
     fn parses_flags() {
         let c = parse(&[
-            "classify", "--scale", "standard", "--seed", "42", "--asn", "AS1000", "--asn",
-            "2000", "--out", "/tmp/x.jsonl", "--threads", "8",
+            "classify",
+            "--scale",
+            "standard",
+            "--seed",
+            "42",
+            "--asn",
+            "AS1000",
+            "--asn",
+            "2000",
+            "--out",
+            "/tmp/x.jsonl",
+            "--threads",
+            "8",
+            "--metrics",
+            "/tmp/m.json",
         ])
         .unwrap();
         match c {
@@ -365,15 +464,70 @@ mod tests {
                 asns,
                 out,
                 threads,
+                metrics_out,
             } => {
                 assert_eq!(scale, Scale::Standard);
                 assert_eq!(seed, 42);
                 assert_eq!(asns, vec![Asn::new(1000), Asn::new(2000)]);
                 assert_eq!(out.as_deref(), Some("/tmp/x.jsonl"));
                 assert_eq!(threads, 8);
+                assert_eq!(metrics_out.as_deref(), Some("/tmp/m.json"));
             }
             other => panic!("parsed {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_metrics_command() {
+        let c = parse(&["metrics", "--threads", "2", "--metrics", "/tmp/m.json"]).unwrap();
+        match c {
+            Command::Metrics {
+                scale,
+                threads,
+                metrics_out,
+                ..
+            } => {
+                assert_eq!(scale, Scale::Small);
+                assert_eq!(threads, 2);
+                assert_eq!(metrics_out.as_deref(), Some("/tmp/m.json"));
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(parse(&["metrics", "--metrics"]).is_err());
+    }
+
+    #[test]
+    fn metrics_report_stage_counts_sum_to_universe() {
+        let mut buf = Vec::new();
+        let code = run(
+            Command::Metrics {
+                scale: Scale::Small,
+                seed: 9,
+                threads: 2,
+                metrics_out: None,
+            },
+            &mut buf,
+        )
+        .unwrap();
+        assert_eq!(code, 0);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("pipeline stages"), "{text}");
+        assert!(text.contains("org cache"), "{text}");
+        // "classified N ASes" must equal the stage-counter total printed
+        // on the report's total row.
+        let n: u64 = text
+            .split("classified ")
+            .nth(1)
+            .and_then(|s| s.split(' ').next())
+            .and_then(|s| s.parse().ok())
+            .expect("report names the universe size");
+        let total: u64 = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("total"))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|s| s.parse().ok())
+            .expect("report has a total row");
+        assert_eq!(n, total, "{text}");
     }
 
     #[test]
@@ -420,6 +574,7 @@ mod tests {
                 scale: Scale::Small,
                 seed: 9,
                 asn: Asn::new(999_999_999),
+                metrics_out: None,
             },
             &mut buf,
         )

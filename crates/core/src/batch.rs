@@ -9,6 +9,11 @@
 //! system's organization cache, which is faster on multi-AS organizations
 //! but makes the *stage* (not the label quality) of later duplicates
 //! depend on scheduling.
+//!
+//! Both record wall-clock and per-worker timing into the system's
+//! [`PipelineMetrics`](crate::metrics::PipelineMetrics) (`batch.*`), so
+//! thread-scaling efficiency is visible in the `asdb metrics` report.
+//! Worker panics are re-raised with their original payload.
 
 use crate::pipeline::{AsdbSystem, Classification};
 use asdb_rir::ParsedWhois;
@@ -23,15 +28,18 @@ fn run_batch(
     if records.is_empty() {
         return Vec::new();
     }
+    let wall = std::time::Instant::now();
     let chunk = records.len().div_ceil(n_threads);
+    let n_workers = records.len().div_ceil(chunk);
     let mut out: Vec<Option<Classification>> = vec![None; records.len()];
-    crossbeam::thread::scope(|scope| {
+    let result = crossbeam::thread::scope(|scope| {
         let mut rest = &mut out[..];
         let mut handles = Vec::new();
         for batch in records.chunks(chunk) {
             let (head, tail) = rest.split_at_mut(batch.len().min(rest.len()));
             rest = tail;
             handles.push(scope.spawn(move |_| {
+                let worker_wall = std::time::Instant::now();
                 for (slot, rec) in head.iter_mut().zip(batch) {
                     *slot = Some(if cached {
                         system.classify_cached(rec)
@@ -39,13 +47,24 @@ fn run_batch(
                         system.classify(rec)
                     });
                 }
+                system.metrics().record_batch_worker(worker_wall.elapsed());
             }));
         }
         for h in handles {
-            h.join().expect("worker thread panicked");
+            // Re-raise the worker's original panic payload so the real
+            // failure message (assert text, index, …) reaches the caller
+            // instead of a generic "worker thread panicked".
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
         }
-    })
-    .expect("scope join");
+    });
+    if let Err(payload) = result {
+        std::panic::resume_unwind(payload);
+    }
+    system
+        .metrics()
+        .record_batch_run(records.len(), n_workers, wall.elapsed());
     out.into_iter()
         .map(|c| c.expect("every slot filled"))
         .collect()
@@ -101,6 +120,23 @@ mod tests {
         let out = classify_batch_cached(&s, &records, 4);
         assert_eq!(out.len(), 40);
         assert!(!s.cache().is_empty());
+    }
+
+    #[test]
+    fn batch_metrics_reconcile_with_records() {
+        let w = World::generate(WorldConfig::small(WorldSeed::new(11)));
+        let s = AsdbSystem::build(&w, WorldSeed::new(12));
+        let records: Vec<_> = w.ases.iter().take(24).map(|r| r.parsed.clone()).collect();
+        let out = classify_batch(&s, &records, 3);
+        assert_eq!(out.len(), 24);
+        let snap = s.metrics_snapshot();
+        assert_eq!(snap.counter("batch.runs"), 1);
+        assert_eq!(snap.counter("batch.records"), 24);
+        assert_eq!(snap.counter("batch.workers"), 3);
+        assert_eq!(snap.histograms["batch.worker_wall"].count, 3);
+        assert_eq!(snap.histograms["batch.wall"].count, 1);
+        // Stage counters reconcile with the number of records processed.
+        assert_eq!(s.metrics().stage_total(), 24);
     }
 
     #[test]

@@ -7,10 +7,12 @@
 //! selected domain when one exists, otherwise by the normalized WHOIS name.
 
 use asdb_model::{Domain, OrgName};
+use asdb_obs::Counter;
 use asdb_taxonomy::CategorySet;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The cache key: how ASdb recognizes "the same organization" across ASes.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -42,10 +44,34 @@ pub struct CachedResult {
     pub provenance: String,
 }
 
+/// A serializable view of the cache's occupancy and reuse statistics —
+/// the §5.1 "previously classified organization" signal, quantified.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheSnapshot {
+    /// Organizations currently cached.
+    pub entries: u64,
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Results stored.
+    pub inserts: u64,
+    /// `hits / (hits + misses)`, 0 when no lookups happened.
+    pub hit_rate: f64,
+}
+
 /// Thread-safe organization cache.
+///
+/// Lookup/store traffic is counted on shared [`Counter`]s so reuse across
+/// same-org ASes (§5.1) is observable; the counters can be supplied by a
+/// metrics registry via [`OrgCache::with_counters`] or default to private
+/// ones.
 #[derive(Debug, Default)]
 pub struct OrgCache {
     map: RwLock<HashMap<OrgKey, CachedResult>>,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    inserts: Arc<Counter>,
 }
 
 impl OrgCache {
@@ -54,13 +80,39 @@ impl OrgCache {
         OrgCache::default()
     }
 
+    /// Empty cache whose hit/miss/insert counters are shared with a
+    /// metrics registry.
+    pub fn with_counters(
+        hits: Arc<Counter>,
+        misses: Arc<Counter>,
+        inserts: Arc<Counter>,
+    ) -> OrgCache {
+        OrgCache {
+            map: RwLock::default(),
+            hits,
+            misses,
+            inserts,
+        }
+    }
+
     /// Look up a key.
     pub fn get(&self, key: &OrgKey) -> Option<CachedResult> {
-        self.map.read().get(key).cloned()
+        let hit = self.map.read().get(key).cloned();
+        match hit {
+            Some(r) => {
+                self.hits.inc();
+                Some(r)
+            }
+            None => {
+                self.misses.inc();
+                None
+            }
+        }
     }
 
     /// Store a result.
     pub fn put(&self, key: OrgKey, result: CachedResult) {
+        self.inserts.inc();
         self.map.write().insert(key, result);
     }
 
@@ -79,9 +131,46 @@ impl OrgCache {
         self.map.read().is_empty()
     }
 
-    /// Drop everything.
+    /// Drop everything (statistics counters are preserved).
     pub fn clear(&self) {
         self.map.write().clear();
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses.get()
+    }
+
+    /// Results stored.
+    pub fn inserts(&self) -> u64 {
+        self.inserts.get()
+    }
+
+    /// Fraction of lookups served from the cache (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.hits.get();
+        let total = hits + self.misses.get();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// Serializable occupancy + reuse statistics.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            entries: self.len() as u64,
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            inserts: self.inserts.get(),
+            hit_rate: self.hit_rate(),
+        }
     }
 }
 
@@ -126,6 +215,65 @@ mod tests {
         assert!(cache.invalidate(&key));
         assert!(!cache.invalidate(&key));
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn stats_track_hits_misses_inserts() {
+        let cache = OrgCache::new();
+        let key = OrgKey::Name("acme".into());
+        assert!(cache.get(&key).is_none());
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        cache.put(
+            key.clone(),
+            CachedResult {
+                categories: CategorySet::single(Category::l2(known::isp())),
+                provenance: "test".into(),
+            },
+        );
+        assert!(cache.get(&key).is_some());
+        assert!(cache.get(&key).is_some());
+        assert_eq!((cache.hits(), cache.misses(), cache.inserts()), (2, 1, 1));
+        let rate = cache.hit_rate();
+        assert!((rate - 2.0 / 3.0).abs() < 1e-9, "rate = {rate}");
+        let snap = cache.snapshot();
+        assert_eq!(snap.entries, 1);
+        assert_eq!(snap.hits, 2);
+        assert_eq!(snap.misses, 1);
+        assert_eq!(snap.inserts, 1);
+        // Snapshot round-trips through serde.
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: CacheSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn empty_cache_hit_rate_is_zero() {
+        let cache = OrgCache::new();
+        assert_eq!(cache.hit_rate(), 0.0);
+        assert_eq!(cache.snapshot().hit_rate, 0.0);
+    }
+
+    #[test]
+    fn shared_counters_observe_traffic() {
+        use asdb_obs::Counter;
+        let hits = Arc::new(Counter::new());
+        let misses = Arc::new(Counter::new());
+        let inserts = Arc::new(Counter::new());
+        let cache =
+            OrgCache::with_counters(Arc::clone(&hits), Arc::clone(&misses), Arc::clone(&inserts));
+        let key = OrgKey::Name("acme".into());
+        let _ = cache.get(&key);
+        cache.put(
+            key.clone(),
+            CachedResult {
+                categories: CategorySet::new(),
+                provenance: "t".into(),
+            },
+        );
+        let _ = cache.get(&key);
+        assert_eq!(hits.get(), 1);
+        assert_eq!(misses.get(), 1);
+        assert_eq!(inserts.get(), 1);
     }
 
     #[test]

@@ -95,12 +95,8 @@ impl MlClassifiers {
         let mut cfg = config.clone();
         cfg.vectorizer.min_df = 2;
         let isp = TextPipeline::fit(&doc_refs, &isp_labels, cfg.clone(), seed.derive("isp-clf"));
-        let hosting = TextPipeline::fit(
-            &doc_refs,
-            &hosting_labels,
-            cfg,
-            seed.derive("hosting-clf"),
-        );
+        let hosting =
+            TextPipeline::fit(&doc_refs, &hosting_labels, cfg, seed.derive("hosting-clf"));
         MlClassifiers {
             isp,
             hosting,

@@ -86,7 +86,9 @@ pub fn write_csv(classifications: &[Classification]) -> String {
         .unwrap_or(1);
     let mut out = String::from("ASN");
     for i in 1..=max_labels {
-        out.push_str(&format!(",\"Layer 1 Category {i}\",\"Layer 2 Category {i}\""));
+        out.push_str(&format!(
+            ",\"Layer 1 Category {i}\",\"Layer 2 Category {i}\""
+        ));
     }
     out.push('\n');
     for c in classifications {

@@ -23,8 +23,10 @@
 //!
 //! Plus the operational half the paper only sketches: a concurrent
 //! organization [`cache`], [`batch`] classification across threads, the
-//! §5.3 [`maintain`] loop over registration churn, and the public
-//! [`dataset`] dump format.
+//! §5.3 [`maintain`] loop over registration churn, the public
+//! [`dataset`] dump format, and always-on [`metrics`] — per-stage
+//! counters mirroring Table 8, per-source hit rates, cache reuse, and
+//! latency histograms, snapshot-able as text or JSON.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,9 +36,11 @@ pub mod cache;
 pub mod classifier;
 pub mod dataset;
 pub mod maintain;
+pub mod metrics;
 pub mod pipeline;
 pub mod sources_set;
 
 pub use classifier::{MlClassifiers, MlVerdict};
+pub use metrics::PipelineMetrics;
 pub use pipeline::{AsdbSystem, Classification, Stage};
 pub use sources_set::SourceSet;

@@ -2,6 +2,7 @@
 
 use crate::cache::{CachedResult, OrgCache, OrgKey};
 use crate::classifier::{MlClassifiers, MlVerdict};
+use crate::metrics::PipelineMetrics;
 use crate::sources_set::SourceSet;
 use asdb_entity::domain_select::{select_domain, DomainCandidates, DomainStrategy};
 use asdb_model::{Domain, WorldSeed};
@@ -35,6 +36,30 @@ pub enum Stage {
 }
 
 impl Stage {
+    /// Every stage, in Table 8 row order.
+    pub const ALL: [Stage; 7] = [
+        Stage::Cached,
+        Stage::MatchedByAsn,
+        Stage::Classifier,
+        Stage::ZeroSources,
+        Stage::OneSource,
+        Stage::MultiAgree,
+        Stage::MultiNoneAgree,
+    ];
+
+    /// Position in [`Stage::ALL`] (dense index for counter arrays).
+    pub fn index(self) -> usize {
+        match self {
+            Stage::Cached => 0,
+            Stage::MatchedByAsn => 1,
+            Stage::Classifier => 2,
+            Stage::ZeroSources => 3,
+            Stage::OneSource => 4,
+            Stage::MultiAgree => 5,
+            Stage::MultiNoneAgree => 6,
+        }
+    }
+
     /// Human-readable name matching Table 8's row labels.
     pub fn label(self) -> &'static str {
         match self {
@@ -120,6 +145,7 @@ pub struct AsdbSystem {
     web: SimWeb,
     domain_counts: HashMap<Domain, usize>,
     cache: OrgCache,
+    metrics: PipelineMetrics,
     seed: WorldSeed,
 }
 
@@ -136,13 +162,16 @@ impl AsdbSystem {
                 *domain_counts.entry(d).or_insert(0) += 1;
             }
         }
+        let metrics = PipelineMetrics::new();
+        let cache = metrics.build_cache();
         AsdbSystem {
             sources,
             ml,
             options: PipelineOptions::default(),
             web: world.web.clone(),
             domain_counts,
-            cache: OrgCache::new(),
+            cache,
+            metrics,
             seed: seed.derive("pipeline"),
         }
     }
@@ -163,6 +192,28 @@ impl AsdbSystem {
     /// The organization cache.
     pub fn cache(&self) -> &OrgCache {
         &self.cache
+    }
+
+    /// The system's telemetry: stage counters, per-source hit rates,
+    /// latency histograms.
+    pub fn metrics(&self) -> &PipelineMetrics {
+        &self.metrics
+    }
+
+    /// Serializable snapshot of every metric (cache occupancy included).
+    pub fn metrics_snapshot(&self) -> asdb_obs::RegistrySnapshot {
+        self.metrics.snapshot(&self.cache)
+    }
+
+    /// The metrics snapshot as pretty-printed JSON.
+    pub fn metrics_json(&self) -> String {
+        self.metrics_snapshot().to_json()
+    }
+
+    /// Human-readable metrics report (Table 8-style stage breakdown,
+    /// source coverage, cache reuse, latency summaries).
+    pub fn metrics_text(&self) -> String {
+        self.metrics.render_text(&self.cache)
     }
 
     /// WHOIS-wide AS count for a domain (§5.1 step 3 statistic).
@@ -208,45 +259,61 @@ impl AsdbSystem {
 
     /// Classify with explicit feature switches — the ablation entry point
     /// (the expensive state, sources and trained classifiers, is shared).
-    pub fn classify_with(
-        &self,
-        whois: &ParsedWhois,
-        options: &PipelineOptions,
-    ) -> Classification {
+    pub fn classify_with(&self, whois: &ParsedWhois, options: &PipelineOptions) -> Classification {
+        let start = std::time::Instant::now();
+        let c = self.classify_inner(whois, options);
+        self.metrics.record_classification(&c, start.elapsed());
+        c
+    }
+
+    /// The uninstrumented Figure 4 pipeline body.
+    fn classify_inner(&self, whois: &ParsedWhois, options: &PipelineOptions) -> Classification {
         // Stage 1: ASN-indexed sources.
         let asn_query = Query::by_asn(whois.asn);
+        self.metrics.record_source_query(SourceId::PeeringDb);
+        self.metrics.record_source_query(SourceId::Ipinfo);
         let pdb_match = self.sources.peeringdb.search(&asn_query);
         let ipinfo_match = self.sources.ipinfo.search(&asn_query);
 
         // High-confidence shortcut: "only if PeeringDB returns an ISP
         // label."
         if options.use_asn_shortcut {
-        if let Some(t) = self.sources.peeringdb.network_type(whois.asn) {
-            if t.is_isp_signal() {
-                return Classification {
-                    asn: whois.asn,
-                    categories: t.to_naicslite(),
-                    stage: Stage::MatchedByAsn,
-                    sources: vec![SourceId::PeeringDb],
-                    chosen_domain: None,
-                    ml: None,
-                    match_labels: vec![(SourceId::PeeringDb, t.to_naicslite())],
-                };
+            if let Some(t) = self.sources.peeringdb.network_type(whois.asn) {
+                if t.is_isp_signal() {
+                    self.metrics.record_source_match(SourceId::PeeringDb);
+                    return Classification {
+                        asn: whois.asn,
+                        categories: t.to_naicslite(),
+                        stage: Stage::MatchedByAsn,
+                        sources: vec![SourceId::PeeringDb],
+                        chosen_domain: None,
+                        ml: None,
+                        match_labels: vec![(SourceId::PeeringDb, t.to_naicslite())],
+                    };
+                }
             }
-        }
         }
 
         // Stage 2: domain selection + ML.
+        let t_domain = std::time::Instant::now();
         let chosen_domain = self.select_domain_with(whois, options.domain_strategy);
+        self.metrics
+            .record_domain_outcome(chosen_domain.is_some(), t_domain.elapsed());
         let ml = if options.use_ml {
-            chosen_domain
+            let t_ml = std::time::Instant::now();
+            let verdict = chosen_domain
                 .as_ref()
-                .and_then(|d| self.ml.classify(&self.web, d))
+                .and_then(|d| self.ml.classify(&self.web, d));
+            if let Some(v) = &verdict {
+                self.metrics.record_ml(v.fired(), t_ml.elapsed());
+            }
+            verdict
         } else {
             None
         };
 
         // Stage 3: match the remaining sources.
+        let t_sources = std::time::Instant::now();
         let query = Query {
             asn: Some(whois.asn),
             name: Some(whois.name.clone()),
@@ -254,6 +321,9 @@ impl AsdbSystem {
             address: whois.address.clone(),
             phone: whois.phone.clone(),
         };
+        for id in [SourceId::Dnb, SourceId::Crunchbase, SourceId::Zvelo] {
+            self.metrics.record_source_query(id);
+        }
         let mut matches: Vec<SourceMatch> = Vec::new();
         for m in [
             self.sources.dnb.search(&query),
@@ -271,26 +341,31 @@ impl AsdbSystem {
             if options.reject_entity_disagreement {
                 if let (Some(md), Some(cd)) = (&m.domain, &chosen_domain) {
                     if md.registrable() != cd.registrable() {
+                        self.metrics.record_source_reject(m.source);
                         continue;
                     }
                 }
             }
             if m.categories.is_empty() {
+                self.metrics.record_source_reject(m.source);
                 continue;
             }
+            self.metrics.record_source_match(m.source);
             matches.push(m);
         }
+        self.metrics.record_source_phase(t_sources.elapsed());
 
         self.consensus(whois.asn, chosen_domain, ml, matches, options)
     }
 
     /// Classify with the organization cache (production protocol).
     pub fn classify_cached(&self, whois: &ParsedWhois) -> Classification {
+        let start = std::time::Instant::now();
         let chosen = self.select_domain(whois);
         let key = OrgKey::derive(chosen.as_ref(), &whois.name);
         if let Some(k) = &key {
             if let Some(hit) = self.cache.get(k) {
-                return Classification {
+                let c = Classification {
                     asn: whois.asn,
                     categories: hit.categories,
                     stage: Stage::Cached,
@@ -299,6 +374,8 @@ impl AsdbSystem {
                     ml: None,
                     match_labels: Vec::new(),
                 };
+                self.metrics.record_classification(&c, start.elapsed());
+                return c;
             }
         }
         let result = self.classify(whois);
@@ -377,6 +454,7 @@ impl AsdbSystem {
         // classifier classified the AS as hosting", §5.2).
         if let Some(mlc) = ml_cats {
             if !agreed.is_empty() && !agreed.contains(&Layer1::ComputerAndIT) {
+                self.metrics.record_ml_override();
                 return base(union, Stage::MultiAgree);
             }
             return base(mlc, Stage::Classifier);
@@ -479,7 +557,10 @@ mod tests {
             Stage::OneSource,
             Stage::MultiAgree,
         ] {
-            assert!(seen.contains(stage.label()), "missing stage {stage:?}; saw {seen:?}");
+            assert!(
+                seen.contains(stage.label()),
+                "missing stage {stage:?}; saw {seen:?}"
+            );
         }
     }
 
@@ -514,7 +595,40 @@ mod tests {
             verified = true;
             break;
         }
-        assert!(verified, "no multi-AS org with matching identity keys found");
+        assert!(
+            verified,
+            "no multi-AS org with matching identity keys found"
+        );
+    }
+
+    #[test]
+    fn stage_counters_reconcile_with_classifications(/* metrics layer */) {
+        let (w, s) = setup();
+        let before = s.metrics().stage_total();
+        assert_eq!(before, 0, "fresh system has clean counters");
+        let n = 150usize;
+        for rec in w.ases.iter().take(n) {
+            let _ = s.classify(&rec.parsed);
+        }
+        assert_eq!(s.metrics().stage_total(), n as u64);
+        // Per-source query counters: the ASN-indexed sources see every
+        // classification, while the web sources are skipped whenever the
+        // PeeringDB ISP shortcut resolves the AS at stage 1 (Figure 4).
+        let snap = s.metrics_snapshot();
+        let shortcut = s.metrics().stage_count(Stage::MatchedByAsn);
+        assert_eq!(snap.counter("source.peeringdb.queries"), n as u64);
+        assert_eq!(snap.counter("source.ipinfo.queries"), n as u64);
+        assert_eq!(snap.counter("source.dnb.queries"), n as u64 - shortcut);
+        // Latency histogram observed every classification.
+        assert_eq!(snap.histograms["pipeline.classify"].count, n as u64);
+        // Cached classifications count into the Cached stage.
+        let c0 = s.classify_cached(&w.ases[0].parsed);
+        let c1 = s.classify_cached(&w.ases[0].parsed);
+        assert_ne!(c0.stage, Stage::Cached);
+        assert_eq!(c1.stage, Stage::Cached);
+        assert_eq!(s.metrics().stage_count(Stage::Cached), 1);
+        assert!(s.cache().hits() >= 1);
+        assert!(s.cache().hit_rate() > 0.0);
     }
 
     #[test]

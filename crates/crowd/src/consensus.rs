@@ -75,7 +75,11 @@ mod tests {
         let c = consensus_labels(&labels, ConsensusRule::TWO_OF_THREE);
         // Both isp and hosting appear twice.
         assert_eq!(c.len(), 2);
-        let labels = vec![set(&[isp]), set(&[hosting]), set(&[Category::l2(known::banks())])];
+        let labels = vec![
+            set(&[isp]),
+            set(&[hosting]),
+            set(&[Category::l2(known::banks())]),
+        ];
         let c = consensus_labels(&labels, ConsensusRule::TWO_OF_THREE);
         assert!(c.is_empty(), "three-way split has no consensus");
     }

@@ -69,7 +69,7 @@ mod tests {
         let cost = m.total_dollars();
         // "costing at least $31,000. This is untenable for our research
         // budget."
-        assert!(cost >= 31_000.0 && cost < 36_000.0, "cost = {cost}");
+        assert!((31_000.0..36_000.0).contains(&cost), "cost = {cost}");
     }
 
     #[test]

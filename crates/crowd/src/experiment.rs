@@ -128,9 +128,7 @@ pub fn run_assignment(
     seed: WorldSeed,
 ) -> AssignmentOutcome {
     let workers = Worker::cohort(config.rule.n, cohort_label, seed);
-    let mut rng = StdRng::seed_from_u64(
-        seed.derive("assignment").derive(cohort_label).value(),
-    );
+    let mut rng = StdRng::seed_from_u64(seed.derive("assignment").derive(cohort_label).value());
     let mut outcome = AssignmentOutcome {
         n_tasks: tasks.len(),
         consensus_reached: 0,

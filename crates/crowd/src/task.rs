@@ -66,10 +66,7 @@ mod tests {
         let task = CrowdTask {
             asn: Asn::new(1),
             kind: TaskKind::ChooseAmongSources,
-            options: vec![
-                Category::l2(known::isp()),
-                Category::l2(known::hosting()),
-            ],
+            options: vec![Category::l2(known::isp()), Category::l2(known::hosting())],
             truth,
             ease: 0.5,
         };

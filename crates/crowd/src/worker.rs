@@ -22,14 +22,12 @@ impl Worker {
     /// experiments ("ensure that no MTurks overlap between assignments"):
     /// the label keys the cohort.
     pub fn cohort(n: usize, label: &str, seed: WorldSeed) -> Vec<Worker> {
-        let mut rng =
-            StdRng::seed_from_u64(seed.derive("cohort").derive(label).value());
+        let mut rng = StdRng::seed_from_u64(seed.derive("cohort").derive(label).value());
         (0..n)
             .map(|id| {
                 let skill = 0.6 + 0.38 * rng.random_range(0.0..1.0f64);
                 // Log-normal pace: most workers near 1×, a few 3–4× slower.
-                let z: f64 = rng.random_range(-1.0..1.0f64)
-                    + rng.random_range(-1.0..1.0f64);
+                let z: f64 = rng.random_range(-1.0..1.0f64) + rng.random_range(-1.0..1.0f64);
                 let pace = (0.45 * z).exp();
                 Worker {
                     id: id as u64,
@@ -57,7 +55,8 @@ impl Worker {
     /// is what decouples wages from rewards (Figure 6).
     pub fn seconds(&self, reward_cents: u32, ease: f64, task_idx: u64, seed: WorldSeed) -> f64 {
         let mut rng = StdRng::seed_from_u64(
-            seed.derive_index("seconds", self.id ^ (task_idx << 20)).value(),
+            seed.derive_index("seconds", self.id ^ (task_idx << 20))
+                .value(),
         );
         let base = 18.0 + 60.0 * (1.0 - ease);
         let reward_drag = 1.0 + 0.08 * ((reward_cents as f64 - 30.0) / 30.0);

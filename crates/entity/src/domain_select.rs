@@ -73,9 +73,7 @@ impl DomainCandidates {
             .filter(|(d, _)| !d.is_public_email_domain())
             .cloned()
             .collect();
-        let any_rare = no_email
-            .iter()
-            .any(|(_, c)| *c < COMMON_DOMAIN_THRESHOLD);
+        let any_rare = no_email.iter().any(|(_, c)| *c < COMMON_DOMAIN_THRESHOLD);
         if any_rare {
             no_email
                 .into_iter()
@@ -107,11 +105,8 @@ pub fn select_domain<F: Fetcher>(
     }
     match strategy {
         DomainStrategy::Random => {
-            let mut rng = StdRng::seed_from_u64(
-                seed.derive("domain-random")
-                    .derive(reference_name)
-                    .value(),
-            );
+            let mut rng =
+                StdRng::seed_from_u64(seed.derive("domain-random").derive(reference_name).value());
             Some(pool[rng.random_range(0..pool.len())].0.clone())
         }
         DomainStrategy::LeastCommon => pool
@@ -172,10 +167,7 @@ mod tests {
 
     #[test]
     fn public_email_domains_removed() {
-        let c = DomainCandidates::new([
-            (dom("gmail.com"), 5000),
-            (dom("acmenet.com"), 2),
-        ]);
+        let c = DomainCandidates::new([(dom("gmail.com"), 5000), (dom("acmenet.com"), 2)]);
         let f = c.filtered();
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].0.as_str(), "acmenet.com");
@@ -184,10 +176,7 @@ mod tests {
     #[test]
     fn common_domains_filtered_only_when_rare_exists() {
         // Rare + common → common dropped.
-        let c = DomainCandidates::new([
-            (dom("noc-services.net"), 800),
-            (dom("acmenet.com"), 2),
-        ]);
+        let c = DomainCandidates::new([(dom("noc-services.net"), 800), (dom("acmenet.com"), 2)]);
         assert_eq!(c.filtered().len(), 1);
         // Only common → kept (better than nothing).
         let c = DomainCandidates::new([(dom("noc-services.net"), 800)]);
@@ -209,10 +198,7 @@ mod tests {
         // Two plausible candidates; only the right one's homepage title
         // matches the org name.
         let web = web_with("Acmenet Communications", "acmenet.com");
-        let c = DomainCandidates::new([
-            (dom("unrelated-host.org"), 3),
-            (dom("acmenet.com"), 2),
-        ]);
+        let c = DomainCandidates::new([(dom("unrelated-host.org"), 3), (dom("acmenet.com"), 2)]);
         let picked = select_domain(
             &c,
             "Acmenet Communications",
@@ -228,10 +214,7 @@ mod tests {
     fn most_similar_falls_back_to_domain_string() {
         // No sites hosted at all: the domain string itself is compared.
         let web = SimWeb::new(WorldSeed::new(2));
-        let c = DomainCandidates::new([
-            (dom("zzz-unrelated.org"), 3),
-            (dom("acmenet.com"), 3),
-        ]);
+        let c = DomainCandidates::new([(dom("zzz-unrelated.org"), 3), (dom("acmenet.com"), 3)]);
         let picked = select_domain(
             &c,
             "ACMENET",
@@ -265,13 +248,21 @@ mod tests {
     #[test]
     fn random_is_deterministic_per_seed_and_name() {
         let web = SimWeb::new(WorldSeed::new(4));
-        let c = DomainCandidates::new([
-            (dom("a.com"), 1),
-            (dom("b.com"), 1),
-            (dom("c.com"), 1),
-        ]);
-        let p1 = select_domain(&c, "X Corp", DomainStrategy::Random, &web, WorldSeed::new(9));
-        let p2 = select_domain(&c, "X Corp", DomainStrategy::Random, &web, WorldSeed::new(9));
+        let c = DomainCandidates::new([(dom("a.com"), 1), (dom("b.com"), 1), (dom("c.com"), 1)]);
+        let p1 = select_domain(
+            &c,
+            "X Corp",
+            DomainStrategy::Random,
+            &web,
+            WorldSeed::new(9),
+        );
+        let p2 = select_domain(
+            &c,
+            "X Corp",
+            DomainStrategy::Random,
+            &web,
+            WorldSeed::new(9),
+        );
         assert_eq!(p1, p2);
     }
 
@@ -279,10 +270,19 @@ mod tests {
     fn empty_pool_returns_none() {
         let web = SimWeb::new(WorldSeed::new(6));
         let c = DomainCandidates::new([(dom("gmail.com"), 9000)]);
-        assert!(select_domain(&c, "X", DomainStrategy::MostSimilar, &web, WorldSeed::new(1)).is_none());
+        assert!(select_domain(
+            &c,
+            "X",
+            DomainStrategy::MostSimilar,
+            &web,
+            WorldSeed::new(1)
+        )
+        .is_none());
         let empty = DomainCandidates::default();
         assert!(empty.is_empty());
-        assert!(select_domain(&empty, "X", DomainStrategy::Random, &web, WorldSeed::new(1)).is_none());
+        assert!(
+            select_domain(&empty, "X", DomainStrategy::Random, &web, WorldSeed::new(1)).is_none()
+        );
     }
 
     #[test]

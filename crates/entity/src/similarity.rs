@@ -36,10 +36,7 @@ pub fn jaro(a: &str, b: &str) -> f64 {
         return 0.0;
     }
     // Transpositions: compare matched sequences in order.
-    let mut b_matches: Vec<(usize, char)> = match_positions_b
-        .iter()
-        .map(|&j| (j, b[j]))
-        .collect();
+    let mut b_matches: Vec<(usize, char)> = match_positions_b.iter().map(|&j| (j, b[j])).collect();
     b_matches.sort_by_key(|(j, _)| *j);
     let t = matches_a
         .iter()
@@ -100,14 +97,12 @@ pub fn name_similarity(a: &str, b: &str) -> f64 {
     let jac = token_jaccard(&la, &lb);
     let ta = tokens(&la);
     let tb = tokens(&lb);
-    let subset_bonus = if !ta.is_empty()
-        && !tb.is_empty()
-        && (ta.is_subset(&tb) || tb.is_subset(&ta))
-    {
-        0.85
-    } else {
-        0.0
-    };
+    let subset_bonus =
+        if !ta.is_empty() && !tb.is_empty() && (ta.is_subset(&tb) || tb.is_subset(&ta)) {
+            0.85
+        } else {
+            0.0
+        };
     // Character-level similarity alone is unreliable for unrelated names
     // (Jaro–Winkler sits near 0.5 for random English phrases), so discount
     // it when the names share no tokens at all.

@@ -4,8 +4,8 @@
 
 use crate::goldsets::GoldSet;
 use crate::source_eval::Ratio;
-use asdb_baselines::caida::{CaidaClass, CaidaClassifier};
 use asdb_baselines::baumann::BaumannClassifier;
+use asdb_baselines::caida::{CaidaClass, CaidaClassifier};
 use asdb_baselines::topo::{TopoClass, TopoClassifier};
 use asdb_core::AsdbSystem;
 use asdb_model::WorldSeed;
@@ -85,7 +85,9 @@ pub fn compare(
         // Topological five-way (always emits a class).
         topo_row.coverage.add(true);
         let pred = topo.classify(&graph, entry.asn);
-        topo_row.accuracy.add(pred.matches(TopoClass::project(labels)));
+        topo_row
+            .accuracy
+            .add(pred.matches(TopoClass::project(labels)));
 
         // ASdb, scored at layer 1 — the strictest common footing available
         // (the baselines cannot express layer 2 at all).
@@ -140,8 +142,15 @@ mod tests {
     #[test]
     fn keyword_baselines_have_partial_coverage() {
         let caida = rows().iter().find(|r| r.name.starts_with("CAIDA")).unwrap();
-        let baumann = rows().iter().find(|r| r.name.starts_with("Baumann")).unwrap();
-        assert!(caida.coverage.frac() < 0.98, "caida = {}", caida.coverage.frac());
+        let baumann = rows()
+            .iter()
+            .find(|r| r.name.starts_with("Baumann"))
+            .unwrap();
+        assert!(
+            caida.coverage.frac() < 0.98,
+            "caida = {}",
+            caida.coverage.frac()
+        );
         assert!(
             baumann.coverage.frac() < caida.coverage.frac() + 0.15,
             "baumann = {}",

@@ -46,7 +46,9 @@ pub fn table10(world: &World, uniform: &GoldSet, system: &AsdbSystem) -> Vec<Cat
                 address: rec.parsed.address.clone(),
                 phone: rec.parsed.phone.clone(),
             };
-            let Some(m) = src.search(&query) else { continue };
+            let Some(m) = src.search(&query) else {
+                continue;
+            };
             let ok = m.categories.overlaps_l1(labels);
             row.overall.add(ok);
             for l1 in labels.layer1s() {
@@ -115,7 +117,11 @@ mod tests {
         let c = ctx();
         let rows = table10(&c.world, &c.uniform, &c.system);
         let asdb = rows.iter().find(|r| r.label == "ASdb").unwrap();
-        assert!(asdb.overall.frac() > 0.75, "ASdb overall = {}", asdb.overall.frac());
+        assert!(
+            asdb.overall.frac() > 0.75,
+            "ASdb overall = {}",
+            asdb.overall.frac()
+        );
         // Equivalent-or-better accuracy than the best source in at least
         // half the categories (the paper says 9/16).
         let mut wins = 0usize;

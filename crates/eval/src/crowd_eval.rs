@@ -24,7 +24,11 @@ pub fn wage_tasks(world: &World, gold: &GoldSet, l1: Layer1, n: usize) -> Vec<Cr
         let org = world.org_of(entry.asn).expect("owner exists");
         // Ease: finance is easy; technology is hard; a dead site makes
         // everything harder.
-        let mut ease = if l1 == Layer1::ComputerAndIT { 0.45 } else { 0.92 };
+        let mut ease = if l1 == Layer1::ComputerAndIT {
+            0.45
+        } else {
+            0.92
+        };
         if !org.live_site {
             ease *= 0.5;
         }
@@ -154,8 +158,7 @@ pub struct Table9 {
 
 /// Run the Table 9 experiment over a labeled set.
 pub fn table9(world: &World, set: &GoldSet, system: &AsdbSystem, seed: WorldSeed) -> Table9 {
-    let mut rows_acc: std::collections::HashMap<Stage, (usize, usize, usize)> =
-        Default::default();
+    let mut rows_acc: std::collections::HashMap<Stage, (usize, usize, usize)> = Default::default();
     let (mut base_ok, mut crowd_ok, mut n_classified) = (0usize, 0usize, 0usize);
 
     for (entry, labels) in set.labeled() {

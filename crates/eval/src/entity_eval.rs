@@ -39,11 +39,7 @@ fn row(label: &str, correct: usize, incorrect: usize, total: usize) -> MatchingR
 
 /// The D&B rows of Table 5: bulk search filtered at two confidence
 /// thresholds.
-pub fn dnb_rows(
-    world: &World,
-    gold: &GoldSet,
-    sources: &asdb_core::SourceSet,
-) -> Vec<MatchingRow> {
+pub fn dnb_rows(world: &World, gold: &GoldSet, sources: &asdb_core::SourceSet) -> Vec<MatchingRow> {
     let mut out = Vec::new();
     for (label, min_conf) in [("D&B Conf. >=1", 1u8), ("D&B Conf. >=6", 6)] {
         let (mut correct, mut incorrect, mut total) = (0usize, 0usize, 0usize);
@@ -57,7 +53,9 @@ pub fn dnb_rows(
                 address: rec.parsed.address.clone(),
                 phone: rec.parsed.phone.clone(),
             };
-            let Some(m) = sources.dnb.search(&q) else { continue };
+            let Some(m) = sources.dnb.search(&q) else {
+                continue;
+            };
             if m.confidence.map(|c| c.value()).unwrap_or(0) < min_conf {
                 continue;
             }
@@ -184,20 +182,19 @@ pub fn domain_rows(
                 })
                 .collect();
             let candidates = DomainCandidates::new(pool);
-            match select_domain(&candidates, &rec.parsed.name, strategy, &world.web, seed) {
-                Some(d) => {
-                    let right = org
-                        .domain
-                        .as_ref()
-                        .map(|od| od.registrable() == d.registrable())
-                        .unwrap_or(false);
-                    if right {
-                        correct += 1;
-                    } else {
-                        incorrect += 1;
-                    }
+            if let Some(d) =
+                select_domain(&candidates, &rec.parsed.name, strategy, &world.web, seed)
+            {
+                let right = org
+                    .domain
+                    .as_ref()
+                    .map(|od| od.registrable() == d.registrable())
+                    .unwrap_or(false);
+                if right {
+                    correct += 1;
+                } else {
+                    incorrect += 1;
                 }
-                None => {}
             }
         }
         out.push(row(label, correct, incorrect, total));
@@ -249,9 +246,19 @@ mod tests {
         let rows = dnb_rows(&c.world, &c.gold, &c.system.sources);
         let any = &rows[0];
         let conf6 = &rows[1];
-        assert!(conf6.match_accuracy >= any.match_accuracy, "thresholding must help accuracy");
-        assert!(conf6.missing >= any.missing, "thresholding must cost coverage");
-        assert!(any.match_accuracy > 0.7, "conf>=1 accuracy = {}", any.match_accuracy);
+        assert!(
+            conf6.match_accuracy >= any.match_accuracy,
+            "thresholding must help accuracy"
+        );
+        assert!(
+            conf6.missing >= any.missing,
+            "thresholding must cost coverage"
+        );
+        assert!(
+            any.match_accuracy > 0.7,
+            "conf>=1 accuracy = {}",
+            any.match_accuracy
+        );
     }
 
     #[test]
@@ -288,7 +295,11 @@ mod tests {
         let c = ctx();
         let rows = crunchbase_rows(&c.world, &c.gold, &c.system.sources);
         let domain = &rows[0];
-        assert!(domain.match_accuracy > 0.95, "domain accuracy = {}", domain.match_accuracy);
+        assert!(
+            domain.match_accuracy > 0.95,
+            "domain accuracy = {}",
+            domain.match_accuracy
+        );
         assert!(domain.missing > 0.5, "crunchbase coverage must be low");
     }
 
@@ -300,8 +311,22 @@ mod tests {
         let random = by("Random");
         let least = by("Least Common");
         let similar = by("Most Similar");
-        assert!(similar.match_accuracy >= random.match_accuracy, "similar {} vs random {}", similar.match_accuracy, random.match_accuracy);
-        assert!(least.match_accuracy >= random.match_accuracy, "least {} vs random {}", least.match_accuracy, random.match_accuracy);
-        assert!(similar.match_accuracy > 0.75, "similar = {}", similar.match_accuracy);
+        assert!(
+            similar.match_accuracy >= random.match_accuracy,
+            "similar {} vs random {}",
+            similar.match_accuracy,
+            random.match_accuracy
+        );
+        assert!(
+            least.match_accuracy >= random.match_accuracy,
+            "least {} vs random {}",
+            least.match_accuracy,
+            random.match_accuracy
+        );
+        assert!(
+            similar.match_accuracy > 0.75,
+            "similar = {}",
+            similar.match_accuracy
+        );
     }
 }

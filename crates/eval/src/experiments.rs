@@ -25,8 +25,16 @@ pub fn fig1(ctx: &ExperimentContext) -> String {
     let sample: Vec<&Organization> = ctx.world.orgs.iter().take(600).collect();
     let (naics, lite) =
         LabelerModel::default().agreement_experiment(&sample, ctx.seed.derive("fig1"));
-    let mut t = TextTable::new("Figure 1 — labeler agreement (paper: NAICS 71/31/41/18, NAICSlite 92/78/78/73)")
-        .header(["System", ">=1 top", ">=1 low", "complete top", "complete low"]);
+    let mut t = TextTable::new(
+        "Figure 1 — labeler agreement (paper: NAICS 71/31/41/18, NAICSlite 92/78/78/73)",
+    )
+    .header([
+        "System",
+        ">=1 top",
+        ">=1 low",
+        "complete top",
+        "complete low",
+    ]);
     t.row([
         "NAICS".to_owned(),
         pct(naics.any_top),
@@ -46,8 +54,12 @@ pub fn fig1(ctx: &ExperimentContext) -> String {
 
 /// Table 2: the four labeled datasets.
 pub fn tab2(ctx: &ExperimentContext) -> String {
-    let mut t = TextTable::new("Table 2 — labeled ground truth")
-        .header(["Dataset", "ASes", "Labeled", "With layer 2"]);
+    let mut t = TextTable::new("Table 2 — labeled ground truth").header([
+        "Dataset",
+        "ASes",
+        "Labeled",
+        "With layer 2",
+    ]);
     for set in [&ctx.gold, &ctx.uniform, &ctx.test] {
         t.row([
             set.name.to_owned(),
@@ -102,10 +114,12 @@ pub fn tab3(ctx: &ExperimentContext) -> String {
 pub fn tab4(ctx: &ExperimentContext) -> String {
     let s = all_sources(ctx);
     let rows = source_eval::table4(&ctx.world, &ctx.gold, &s);
-    let mut t = TextTable::new("Table 4 — external data source correctness (paper: D&B L1 96%, hosting 45%, ISP 70%)")
-        .header([
-            "Source", "L1", "L1 tech", "L1 non", "L2", "L2 tech", "L2 non", "Hosting", "ISP",
-        ]);
+    let mut t = TextTable::new(
+        "Table 4 — external data source correctness (paper: D&B L1 96%, hosting 45%, ISP 70%)",
+    )
+    .header([
+        "Source", "L1", "L1 tech", "L1 non", "L2", "L2 tech", "L2 non", "Hosting", "ISP",
+    ]);
     for r in rows {
         t.row([
             r.source.name().to_owned(),
@@ -124,10 +138,11 @@ pub fn tab4(ctx: &ExperimentContext) -> String {
 
 /// Figure 2: D&B confidence-code reliability.
 pub fn fig2(ctx: &ExperimentContext) -> String {
-    let dist =
-        entity_eval::dnb_confidence_distribution(&ctx.world, &ctx.gold, &ctx.system.sources);
-    let mut t = TextTable::new("Figure 2 — D&B match accuracy by confidence code (paper: <50% below 6, >=80% at 6+)")
-        .header(["Code", "Accuracy", "Matches"]);
+    let dist = entity_eval::dnb_confidence_distribution(&ctx.world, &ctx.gold, &ctx.system.sources);
+    let mut t = TextTable::new(
+        "Figure 2 — D&B match accuracy by confidence code (paper: <50% below 6, >=80% at 6+)",
+    )
+    .header(["Code", "Accuracy", "Matches"]);
     for (code, acc, n) in dist {
         t.row([code.to_string(), pct(acc), n.to_string()]);
     }
@@ -159,8 +174,19 @@ pub fn tab5(ctx: &ExperimentContext) -> String {
 /// Table 6: ML classifier evaluation.
 pub fn tab6(ctx: &ExperimentContext) -> String {
     let panels = ml_eval::table6(&ctx.world, &ctx.gold, &ctx.system);
-    let mut t = TextTable::new("Table 6 — classifier evaluation (paper: hosting 90%/AUC .80, ISP 94%/AUC .94)")
-        .header(["Classifier", "TP", "FN", "FP", "TN", "Accuracy", "FP rate", "AUC"]);
+    let mut t = TextTable::new(
+        "Table 6 — classifier evaluation (paper: hosting 90%/AUC .80, ISP 94%/AUC .94)",
+    )
+    .header([
+        "Classifier",
+        "TP",
+        "FN",
+        "FP",
+        "TN",
+        "Accuracy",
+        "FP rate",
+        "AUC",
+    ]);
     for p in panels {
         t.row([
             p.name.to_owned(),
@@ -178,8 +204,9 @@ pub fn tab6(ctx: &ExperimentContext) -> String {
 
 /// Table 7: F1 against IPinfo and PeeringDB.
 pub fn tab7(ctx: &ExperimentContext) -> String {
-    let mut t = TextTable::new("Table 7 — F1 vs prior work (paper: ASdb always wins; hosting hardest)")
-        .header(["Dataset", "Class", "N", "ASdb", "IPinfo", "PeeringDB"]);
+    let mut t =
+        TextTable::new("Table 7 — F1 vs prior work (paper: ASdb always wins; hosting hardest)")
+            .header(["Dataset", "Class", "N", "ASdb", "IPinfo", "PeeringDB"]);
     for set in [&ctx.gold, &ctx.test] {
         for r in system_eval::table7(&ctx.world, set, &ctx.system) {
             t.row([
@@ -202,12 +229,7 @@ pub fn tab8(ctx: &ExperimentContext) -> String {
     for set in [&ctx.gold, &ctx.test, &ctx.uniform] {
         let st = system_eval::table8(&ctx.world, set, &ctx.system);
         for (stage, cov, acc) in &st.stages {
-            t.row([
-                st.dataset.clone(),
-                stage.clone(),
-                pct(*cov),
-                pct(*acc),
-            ]);
+            t.row([st.dataset.clone(), stage.clone(), pct(*cov), pct(*acc)]);
         }
         t.row([
             st.dataset.clone(),
@@ -258,8 +280,9 @@ pub fn tab10(ctx: &ExperimentContext) -> String {
     let rows = category_eval::table10(&ctx.world, &ctx.uniform, &ctx.system);
     let mut header = vec!["Source".to_owned(), "Overall".to_owned()];
     header.extend(Layer1::SUBSTANTIVE.iter().map(|l| l.slug().to_owned()));
-    let mut t = TextTable::new("Table 10 — per-category accuracy with matching (Uniform Gold Standard)")
-        .header(header);
+    let mut t =
+        TextTable::new("Table 10 — per-category accuracy with matching (Uniform Gold Standard)")
+            .header(header);
     for r in rows {
         let mut cols = vec![r.label.clone(), r.overall.to_string()];
         for l1 in Layer1::SUBSTANTIVE {
@@ -274,14 +297,11 @@ pub fn tab10(ctx: &ExperimentContext) -> String {
 pub fn tab11(ctx: &ExperimentContext) -> String {
     let s = all_sources(ctx);
     let rows = source_eval::table11(&ctx.world, &ctx.uniform, &s);
-    let mut t = TextTable::new("Table 11 — per-category precision; 2-source agreement ~100% (paper)")
-        .header(["Source", "Overall precision", "Covered"]);
+    let mut t =
+        TextTable::new("Table 11 — per-category precision; 2-source agreement ~100% (paper)")
+            .header(["Source", "Overall precision", "Covered"]);
     for r in rows {
-        t.row([
-            r.label,
-            pct(r.overall.frac()),
-            r.overall.den.to_string(),
-        ]);
+        t.row([r.label, pct(r.overall.frac()), r.overall.den.to_string()]);
     }
     t.render()
 }
@@ -290,8 +310,17 @@ pub fn tab11(ctx: &ExperimentContext) -> String {
 pub fn fig5_fig6(ctx: &ExperimentContext) -> String {
     let tech = wage_tasks(&ctx.world, &ctx.uniform, Layer1::ComputerAndIT, 20);
     let fin = wage_tasks(&ctx.world, &ctx.uniform, Layer1::Finance, 20);
-    let mut t = TextTable::new("Figures 5a/5b/6 — reward sweep (paper: coverage rises, accuracy flat, wages uncorrelated)")
-        .header(["Tasks", "Reward", "Coverage", "Loose acc.", "Strict acc.", "Median wage"]);
+    let mut t = TextTable::new(
+        "Figures 5a/5b/6 — reward sweep (paper: coverage rises, accuracy flat, wages uncorrelated)",
+    )
+    .header([
+        "Tasks",
+        "Reward",
+        "Coverage",
+        "Loose acc.",
+        "Strict acc.",
+        "Median wage",
+    ]);
     for (label, tasks) in [("Technology", &tech), ("Finance", &fin)] {
         if tasks.is_empty() {
             continue;
@@ -313,8 +342,9 @@ pub fn fig5_fig6(ctx: &ExperimentContext) -> String {
 /// Figure 7: the consensus-requirement sweep.
 pub fn fig7(ctx: &ExperimentContext) -> String {
     let tech = wage_tasks(&ctx.world, &ctx.uniform, Layer1::ComputerAndIT, 20);
-    let mut t = TextTable::new("Figure 7 — consensus requirement (paper: 4/5 = +accuracy, -coverage)")
-        .header(["Rule", "Coverage", "Loose acc.", "Strict acc."]);
+    let mut t =
+        TextTable::new("Figure 7 — consensus requirement (paper: 4/5 = +accuracy, -coverage)")
+            .header(["Rule", "Coverage", "Loose acc.", "Strict acc."]);
     for p in consensus_sweep(&tech, "fig7", ctx.seed.derive("fig7")) {
         t.row([
             format!("{}/{}", p.rule.k, p.rule.n),
@@ -374,8 +404,9 @@ pub fn telnet(ctx: &ExperimentContext) -> String {
         .map(|(l1, (hit, n))| (l1, hit as f64 / n.max(1) as f64, n))
         .collect();
     rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-    let mut t = TextTable::new("§6 — Telnet exposure by industry (paper: critical infrastructure > tech)")
-        .header(["Industry", "Telnet rate", "ASes", "Model rate"]);
+    let mut t =
+        TextTable::new("§6 — Telnet exposure by industry (paper: critical infrastructure > tech)")
+            .header(["Industry", "Telnet rate", "ASes", "Model rate"]);
     for (l1, rate, n) in rows {
         t.row([
             l1.title().to_owned(),
@@ -400,7 +431,9 @@ pub fn ml_cv_report(ctx: &ExperimentContext) -> String {
     let mut docs: Vec<String> = Vec::new();
     let mut labels: Vec<bool> = Vec::new();
     for asn in ctx.world.sample_asns(300, "ml-cv") {
-        let Some(org) = ctx.world.org_of(asn) else { continue };
+        let Some(org) = ctx.world.org_of(asn) else {
+            continue;
+        };
         let Some(domain) = &org.domain else { continue };
         let Ok(res) = scrape(&ctx.world.web, domain, &ScrapeConfig::default()) else {
             continue;
@@ -410,8 +443,12 @@ pub fn ml_cv_report(ctx: &ExperimentContext) -> String {
     }
     let doc_refs: Vec<&str> = docs.iter().map(String::as_str).collect();
 
-    let mut t = TextTable::new("ML cross-validation — ISP detector, 5-fold (extension)")
-        .header(["Ensemble size", "Mean accuracy", "Std", "Mean AUC"]);
+    let mut t = TextTable::new("ML cross-validation — ISP detector, 5-fold (extension)").header([
+        "Ensemble size",
+        "Mean accuracy",
+        "Std",
+        "Mean AUC",
+    ]);
     for members in [1usize, 3, 7] {
         let mut cfg = PipelineConfig::asdb_default();
         cfg.n_members = members;
@@ -473,8 +510,13 @@ pub fn ablation_report(ctx: &ExperimentContext) -> String {
 /// standard.
 pub fn background_report(ctx: &ExperimentContext) -> String {
     let rows = crate::background::compare(&ctx.world, &ctx.gold, &ctx.system, ctx.seed);
-    let mut t = TextTable::new("Background (§2) — prior work vs ASdb on the gold standard")
-        .header(["System", "Categories", "Coverage", "Accuracy (own label space)"]);
+    let mut t =
+        TextTable::new("Background (§2) — prior work vs ASdb on the gold standard").header([
+            "System",
+            "Categories",
+            "Coverage",
+            "Accuracy (own label space)",
+        ]);
     for r in rows {
         t.row([
             r.name,
@@ -537,7 +579,10 @@ mod tests {
             ("fig7", fig7(c)),
             ("telnet", telnet(c)),
         ] {
-            assert!(report.lines().count() >= 3, "{name} report too small:\n{report}");
+            assert!(
+                report.lines().count() >= 3,
+                "{name} report too small:\n{report}"
+            );
         }
     }
 
@@ -547,6 +592,9 @@ mod tests {
         let report = telnet(c);
         let tech_pos = report.find("Computer and Information Technology").unwrap();
         let util_pos = report.find("Utilities").unwrap();
-        assert!(util_pos < tech_pos, "utilities should rank above tech:\n{report}");
+        assert!(
+            util_pos < tech_pos,
+            "utilities should rank above tech:\n{report}"
+        );
     }
 }

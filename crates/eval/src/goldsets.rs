@@ -132,7 +132,11 @@ mod tests {
         let gs = GoldSet::gold_standard(&w, WorldSeed::new(1));
         assert_eq!(gs.entries.len(), 150);
         // Paper: 148/150 labelable, 142 with layer-2.
-        assert!(gs.labeled_count() >= 144, "labeled = {}", gs.labeled_count());
+        assert!(
+            gs.labeled_count() >= 144,
+            "labeled = {}",
+            gs.labeled_count()
+        );
         assert!(gs.layer2_count() >= 136, "layer2 = {}", gs.layer2_count());
         assert!(gs.layer2_count() <= gs.labeled_count());
     }
@@ -142,9 +146,12 @@ mod tests {
         let w = world();
         let gs = GoldSet::gold_standard(&w, WorldSeed::new(1));
         let ts = GoldSet::test_set(&w, WorldSeed::new(1));
-        let gs_asns: std::collections::HashSet<_> =
-            gs.entries.iter().map(|e| e.asn).collect();
-        let overlap = ts.entries.iter().filter(|e| gs_asns.contains(&e.asn)).count();
+        let gs_asns: std::collections::HashSet<_> = gs.entries.iter().map(|e| e.asn).collect();
+        let overlap = ts
+            .entries
+            .iter()
+            .filter(|e| gs_asns.contains(&e.asn))
+            .count();
         // Random samples may collide occasionally, but must be essentially
         // disjoint in a 4000-org world.
         assert!(overlap < 10, "overlap = {overlap}");

@@ -56,12 +56,7 @@ impl LabelerModel {
     /// Produce one researcher's label for an organization.
     ///
     /// `researcher` distinguishes the two independent labelers of an AS.
-    pub fn label(
-        &self,
-        org: &Organization,
-        researcher: u64,
-        seed: WorldSeed,
-    ) -> ResearcherLabel {
+    pub fn label(&self, org: &Organization, researcher: u64, seed: WorldSeed) -> ResearcherLabel {
         let mut rng = StdRng::seed_from_u64(
             seed.derive_index("labeler", org.id.value() * 7 + researcher)
                 .value(),
@@ -132,11 +127,7 @@ impl LabelerModel {
 
     /// Label an AS twice (two researchers) and report the Figure 1
     /// agreement in both systems: `(naics, naicslite)`.
-    pub fn double_label(
-        &self,
-        org: &Organization,
-        seed: WorldSeed,
-    ) -> (Agreement, Agreement) {
+    pub fn double_label(&self, org: &Organization, seed: WorldSeed) -> (Agreement, Agreement) {
         let a = self.label(org, 0, seed);
         let b = self.label(org, 1, seed);
         let naics = Agreement::between(
@@ -175,14 +166,8 @@ impl LabelerModel {
     /// primary (plus secondary where either researcher saw it), with a
     /// small residue of layer-1-only entries and a tiny unlabelable
     /// fraction (148/150 in the paper).
-    pub fn resolved_label(
-        &self,
-        org: &Organization,
-        seed: WorldSeed,
-    ) -> Option<CategorySet> {
-        let mut rng = StdRng::seed_from_u64(
-            seed.derive_index("resolve", org.id.value()).value(),
-        );
+    pub fn resolved_label(&self, org: &Organization, seed: WorldSeed) -> Option<CategorySet> {
+        let mut rng = StdRng::seed_from_u64(seed.derive_index("resolve", org.id.value()).value());
         if rng.random_bool(0.013) {
             return None; // the 2-in-150 nobody could classify
         }
@@ -226,12 +211,32 @@ mod tests {
         assert!(lite.complete_low > naics.complete_low);
 
         // Shape targets (generous bands around 71/31/41/18 vs 92/78/78/73).
-        assert!((naics.any_top - 0.71).abs() < 0.15, "naics any_top = {}", naics.any_top);
+        assert!(
+            (naics.any_top - 0.71).abs() < 0.15,
+            "naics any_top = {}",
+            naics.any_top
+        );
         assert!(naics.any_low < 0.55, "naics any_low = {}", naics.any_low);
-        assert!(naics.complete_low < 0.40, "naics complete_low = {}", naics.complete_low);
-        assert!((lite.any_top - 0.92).abs() < 0.08, "lite any_top = {}", lite.any_top);
-        assert!((lite.any_low - 0.78).abs() < 0.12, "lite any_low = {}", lite.any_low);
-        assert!(lite.complete_low > 0.55, "lite complete_low = {}", lite.complete_low);
+        assert!(
+            naics.complete_low < 0.40,
+            "naics complete_low = {}",
+            naics.complete_low
+        );
+        assert!(
+            (lite.any_top - 0.92).abs() < 0.08,
+            "lite any_top = {}",
+            lite.any_top
+        );
+        assert!(
+            (lite.any_low - 0.78).abs() < 0.12,
+            "lite any_low = {}",
+            lite.any_low
+        );
+        assert!(
+            lite.complete_low > 0.55,
+            "lite complete_low = {}",
+            lite.complete_low
+        );
 
         // "NAICSlite decreases disagreement amongst researchers … by a
         // factor of two": complete-overlap disagreement halves.

@@ -84,12 +84,28 @@ mod tests {
         assert_eq!(hosting.name, "Hosting");
         // Paper: ISP 94% accuracy / AUC .94; hosting 90% / AUC .80; FP
         // rates 1% and 3%; both classifiers FN-heavy.
-        assert!(isp.confusion.accuracy() > 0.85, "isp acc = {}", isp.confusion.accuracy());
-        assert!(hosting.confusion.accuracy() > 0.80, "hosting acc = {}", hosting.confusion.accuracy());
+        assert!(
+            isp.confusion.accuracy() > 0.85,
+            "isp acc = {}",
+            isp.confusion.accuracy()
+        );
+        assert!(
+            hosting.confusion.accuracy() > 0.80,
+            "hosting acc = {}",
+            hosting.confusion.accuracy()
+        );
         assert!(isp.auc > 0.88, "isp auc = {}", isp.auc);
         assert!(hosting.auc > 0.72, "hosting auc = {}", hosting.auc);
-        assert!(isp.confusion.fp_fraction() < 0.08, "isp fp = {}", isp.confusion.fp_fraction());
-        assert!(hosting.confusion.fp_fraction() < 0.10, "hosting fp = {}", hosting.confusion.fp_fraction());
+        assert!(
+            isp.confusion.fp_fraction() < 0.08,
+            "isp fp = {}",
+            isp.confusion.fp_fraction()
+        );
+        assert!(
+            hosting.confusion.fp_fraction() < 0.10,
+            "hosting fp = {}",
+            hosting.confusion.fp_fraction()
+        );
         // ISP is the stronger classifier, as in the paper.
         assert!(isp.auc >= hosting.auc - 0.02);
     }

@@ -155,7 +155,9 @@ pub fn union_coverage(
     let mut r = Ratio::default();
     for (entry, _) in gold.labeled() {
         let org = world.org_of(entry.asn).expect("owner exists");
-        let covered = ids.iter().any(|id| sources.get(*id).lookup_org(org.id).is_some());
+        let covered = ids
+            .iter()
+            .any(|id| sources.get(*id).lookup_org(org.id).is_some());
         r.add(covered);
     }
     r
@@ -189,7 +191,9 @@ pub fn table4(world: &World, gold: &GoldSet, sources: &AllSources) -> Vec<Correc
             };
             for (entry, labels) in gold.labeled() {
                 let org = world.org_of(entry.asn).expect("owner exists");
-                let Some(m) = src.lookup_org(org.id) else { continue };
+                let Some(m) = src.lookup_org(org.id) else {
+                    continue;
+                };
                 let (l1_ok, l2_ok) = accurate(&m, labels);
                 let tech = is_tech_gold(labels);
                 row.l1_overall.add(l1_ok);
@@ -250,7 +254,9 @@ pub fn table11(world: &World, uniform: &GoldSet, sources: &AllSources) -> Vec<Ca
             per_l1: vec![Ratio::default(); Layer1::ALL.len()],
         };
         for (entry, labels) in uniform.labeled() {
-            let Some(m) = lookup(id, entry.asn) else { continue };
+            let Some(m) = lookup(id, entry.asn) else {
+                continue;
+            };
             let ok = m.categories.overlaps_l1(labels);
             row.overall.add(ok);
             for l1 in labels.layer1s() {
@@ -267,7 +273,10 @@ pub fn table11(world: &World, uniform: &GoldSet, sources: &AllSources) -> Vec<Ca
         ("DB + ZV", &[SourceId::Dnb, SourceId::Zvelo]),
         ("DB + CB", &[SourceId::Dnb, SourceId::Crunchbase]),
         ("ZV + CB", &[SourceId::Zvelo, SourceId::Crunchbase]),
-        ("All 3", &[SourceId::Dnb, SourceId::Zvelo, SourceId::Crunchbase]),
+        (
+            "All 3",
+            &[SourceId::Dnb, SourceId::Zvelo, SourceId::Crunchbase],
+        ),
     ];
     for (label, ids) in combos {
         let mut row = CategoryPrecision {
@@ -276,18 +285,16 @@ pub fn table11(world: &World, uniform: &GoldSet, sources: &AllSources) -> Vec<Ca
             per_l1: vec![Ratio::default(); Layer1::ALL.len()],
         };
         for (entry, labels) in uniform.labeled() {
-            let matches: Vec<SourceMatch> = ids
-                .iter()
-                .filter_map(|id| lookup(*id, entry.asn))
-                .collect();
+            let matches: Vec<SourceMatch> =
+                ids.iter().filter_map(|id| lookup(*id, entry.asn)).collect();
             if matches.len() != ids.len() {
                 continue;
             }
             // All members must pairwise agree at layer 1.
-            let all_agree = matches.windows(2).all(|w| {
-                w[0].categories.overlaps_l1(&w[1].categories)
-            }) && (matches.len() < 3
-                || matches[0].categories.overlaps_l1(&matches[2].categories));
+            let all_agree = matches
+                .windows(2)
+                .all(|w| w[0].categories.overlaps_l1(&w[1].categories))
+                && (matches.len() < 3 || matches[0].categories.overlaps_l1(&matches[2].categories));
             if !all_agree {
                 continue;
             }
@@ -352,11 +359,7 @@ pub fn disagreement_analysis(
         let query = Query {
             asn: Some(entry.asn),
             name: Some(rec.parsed.name.clone()),
-            domain: rec
-                .parsed
-                .candidate_domains()
-                .into_iter()
-                .next(),
+            domain: rec.parsed.candidate_domains().into_iter().next(),
             address: rec.parsed.address.clone(),
             phone: rec.parsed.phone.clone(),
         };
@@ -366,10 +369,8 @@ pub fn disagreement_analysis(
         }
         out.multi_source += 1;
         // Entity disagreement: two matches claiming different entities.
-        let entities: std::collections::BTreeSet<_> = matches
-            .iter()
-            .filter_map(|m| m.entity)
-            .collect();
+        let entities: std::collections::BTreeSet<_> =
+            matches.iter().filter_map(|m| m.entity).collect();
         let entity_conflict = entities.len() > 1;
         let any_pair_agrees = matches.iter().enumerate().any(|(i, a)| {
             matches
@@ -474,7 +475,11 @@ mod tests {
         let get = |id: SourceId| rows.iter().find(|r| r.source == id).unwrap();
         let dnb = get(SourceId::Dnb);
         // L1 strong, L2 tech weak, hosting weakest.
-        assert!(dnb.l1_overall.frac() > 0.88, "dnb l1 = {}", dnb.l1_overall.frac());
+        assert!(
+            dnb.l1_overall.frac() > 0.88,
+            "dnb l1 = {}",
+            dnb.l1_overall.frac()
+        );
         assert!(
             dnb.l2_hosting.frac() < dnb.l2_isp.frac() + 0.05,
             "hosting {} vs isp {}",
@@ -489,7 +494,11 @@ mod tests {
         );
         // Clearbit's tech collapse.
         let cl = get(SourceId::Clearbit);
-        assert!(cl.l1_tech.frac() < 0.25, "clearbit tech = {}", cl.l1_tech.frac());
+        assert!(
+            cl.l1_tech.frac() < 0.25,
+            "clearbit tech = {}",
+            cl.l1_tech.frac()
+        );
         assert!(cl.l1_nontech.frac() > 0.5);
         // PeeringDB ISP reliability.
         let pdb = get(SourceId::PeeringDb);
@@ -509,7 +518,11 @@ mod tests {
             combo.overall.frac(),
             single_avg
         );
-        assert!(combo.overall.frac() > 0.9, "combo = {}", combo.overall.frac());
+        assert!(
+            combo.overall.frac() > 0.9,
+            "combo = {}",
+            combo.overall.frac()
+        );
         // Combos have lower coverage than singles.
         assert!(combo.overall.den < rows[0].overall.den);
     }
@@ -533,21 +546,29 @@ mod disagreement_tests {
         let a = disagreement_analysis(&c.world, &c.gold, &c.system.sources);
         assert!(a.total >= 140);
         // Most gold ASes match multiple sources, and most of those agree.
-        assert!(a.multi_source * 2 > a.total, "multi = {}/{}", a.multi_source, a.total);
+        assert!(
+            a.multi_source * 2 > a.total,
+            "multi = {}/{}",
+            a.multi_source,
+            a.total
+        );
         assert!(a.agreeing * 2 > a.multi_source);
         // All three disagreement kinds occur, each as a minority
         // phenomenon (paper: 6% nuanced, 7% blatant, 14% entity).
         let frac = |n: usize| n as f64 / a.total as f64;
         let disagreeing = a.nuanced + a.blatant + a.entity;
         assert!(disagreeing > 0, "no disagreements at all");
-        assert!(frac(disagreeing) < 0.45, "disagreement = {}", frac(disagreeing));
+        assert!(
+            frac(disagreeing) < 0.45,
+            "disagreement = {}",
+            frac(disagreeing)
+        );
         // The uniform set disagrees more than the random gold standard
         // ("zero overlap … for 40% and 13% of ASes in the Uniform Gold
         // Standard and Gold Standard set, respectively").
         let u = disagreement_analysis(&c.world, &c.uniform, &c.system.sources);
         let gold_rate = frac(disagreeing);
-        let uniform_rate =
-            (u.nuanced + u.blatant + u.entity) as f64 / u.total.max(1) as f64;
+        let uniform_rate = (u.nuanced + u.blatant + u.entity) as f64 / u.total.max(1) as f64;
         assert!(
             uniform_rate > gold_rate * 0.8,
             "uniform {uniform_rate} vs gold {gold_rate}"

@@ -104,10 +104,7 @@ pub fn table8(world: &World, set: &GoldSet, system: &AsdbSystem) -> StageTable {
         n,
         stages,
         layer1: (l1_covered as f64 / n.max(1) as f64, l1.frac()),
-        layer2: (
-            l2_covered as f64 / l2_eligible.max(1) as f64,
-            l2.frac(),
-        ),
+        layer2: (l2_covered as f64 / l2_eligible.max(1) as f64, l2.frac()),
         layer2_tech: (0.0, l2_tech.frac()),
         layer2_nontech: (0.0, l2_nontech.frac()),
     }
@@ -165,7 +162,9 @@ pub fn table7(world: &World, set: &GoldSet, system: &AsdbSystem) -> Vec<F1Row> {
     let mut pdb_pred: Vec<Option<IpinfoType>> = Vec::new();
 
     for (asn, gold, c) in &results {
-        let Some(t) = IpinfoType::project(gold) else { continue };
+        let Some(t) = IpinfoType::project(gold) else {
+            continue;
+        };
         truth.push(t);
         asdb_pred.push(IpinfoType::project(&c.categories));
         ipinfo_pred.push(
@@ -224,7 +223,12 @@ mod tests {
         assert!(t.layer1.1 > 0.85, "L1 accuracy = {}", t.layer1.1);
         assert!(t.layer2.0 > 0.80, "L2 coverage = {}", t.layer2.0);
         // Layer-2 accuracy is meaningfully lower than layer-1 (75% vs 93%).
-        assert!(t.layer2.1 < t.layer1.1, "L2 {} vs L1 {}", t.layer2.1, t.layer1.1);
+        assert!(
+            t.layer2.1 < t.layer1.1,
+            "L2 {} vs L1 {}",
+            t.layer2.1,
+            t.layer1.1
+        );
         assert!(t.layer2.1 > 0.55, "L2 accuracy = {}", t.layer2.1);
     }
 

@@ -147,11 +147,20 @@ mod tests {
 
     #[test]
     fn regions_are_plausible() {
-        assert_eq!(CountryCode::new("US").unwrap().region(), Region::NorthAmerica);
+        assert_eq!(
+            CountryCode::new("US").unwrap().region(),
+            Region::NorthAmerica
+        );
         assert_eq!(CountryCode::new("DE").unwrap().region(), Region::Europe);
-        assert_eq!(CountryCode::new("JP").unwrap().region(), Region::AsiaPacific);
+        assert_eq!(
+            CountryCode::new("JP").unwrap().region(),
+            Region::AsiaPacific
+        );
         assert_eq!(CountryCode::new("NG").unwrap().region(), Region::Africa);
-        assert_eq!(CountryCode::new("BR").unwrap().region(), Region::LatinAmerica);
+        assert_eq!(
+            CountryCode::new("BR").unwrap().region(),
+            Region::LatinAmerica
+        );
         // Unknown codes fall back to the RIPE region.
         assert_eq!(Region::of("XX"), Region::Europe);
     }

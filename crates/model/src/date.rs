@@ -140,7 +140,15 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        for bad in ["", "2020", "2020-13-01", "2020-00-10", "2020-01-32", "2020-1-1-1", "x-y-z"] {
+        for bad in [
+            "",
+            "2020",
+            "2020-13-01",
+            "2020-00-10",
+            "2020-01-32",
+            "2020-1-1-1",
+            "x-y-z",
+        ] {
             assert!(bad.parse::<Date>().is_err(), "{bad:?}");
         }
     }

@@ -267,11 +267,7 @@ impl Url {
         let host_part = host_part.rsplit('@').next().unwrap_or(host_part);
         let host_part = host_part.split(':').next().unwrap_or(host_part);
         let host = Domain::new(host_part).map_err(|_| err("invalid host"))?;
-        let path = path_part
-            .split(['?', '#'])
-            .next()
-            .unwrap_or("/")
-            .to_owned();
+        let path = path_part.split(['?', '#']).next().unwrap_or("/").to_owned();
         Ok(Url { scheme, host, path })
     }
 }
@@ -306,7 +302,15 @@ mod tests {
     #[test]
     fn domain_rejects_invalid() {
         for bad in [
-            "", "com", ".", "a..b", "-a.com", "a-.com", "a.c", "exa mple.com", "a.123",
+            "",
+            "com",
+            ".",
+            "a..b",
+            "-a.com",
+            "a-.com",
+            "a.c",
+            "exa mple.com",
+            "a.123",
         ] {
             assert!(Domain::new(bad).is_err(), "{bad:?} should be rejected");
         }

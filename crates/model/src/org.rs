@@ -43,8 +43,28 @@ pub struct OrgName(String);
 /// Legal-entity suffixes stripped during name normalization. Sourced from
 /// common RIR registration suffixes across the five regions.
 pub const LEGAL_SUFFIXES: [&str; 22] = [
-    "inc", "llc", "ltd", "limited", "corp", "corporation", "co", "company", "gmbh", "ag", "sa",
-    "srl", "sarl", "bv", "nv", "oy", "ab", "as", "pty", "plc", "kk", "sro",
+    "inc",
+    "llc",
+    "ltd",
+    "limited",
+    "corp",
+    "corporation",
+    "co",
+    "company",
+    "gmbh",
+    "ag",
+    "sa",
+    "srl",
+    "sarl",
+    "bv",
+    "nv",
+    "oy",
+    "ab",
+    "as",
+    "pty",
+    "plc",
+    "kk",
+    "sro",
 ];
 
 impl OrgName {

@@ -1,0 +1,214 @@
+//! Named-metric registry: get-or-create handles, text render, JSON
+//! snapshot.
+
+use crate::counter::Counter;
+use crate::histogram::{format_nanos, Histogram, HistogramSnapshot};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A registry of named counters and histograms.
+///
+/// Handles are `Arc`s: instrumented code holds them directly (no lock or
+/// name lookup on the hot path), and the registry retains its own clone so
+/// the whole set can be rendered or snapshotted at any time. Names use a
+/// dotted hierarchy (`pipeline.stage.cached`, `source.dnb.queries`) which
+/// the text renderer groups by first segment.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Get or create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = self.counters.read().get(name) {
+            return Arc::clone(c);
+        }
+        Arc::clone(
+            self.counters
+                .write()
+                .entry(name.to_owned())
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// Get or create the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(h) = self.histograms.read().get(name) {
+            return Arc::clone(h);
+        }
+        Arc::clone(
+            self.histograms
+                .write()
+                .entry(name.to_owned())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Names of every registered counter.
+    pub fn counter_names(&self) -> Vec<String> {
+        self.counters.read().keys().cloned().collect()
+    }
+
+    /// Reset every counter and histogram to zero.
+    pub fn reset(&self) {
+        for c in self.counters.read().values() {
+            c.reset();
+        }
+        for h in self.histograms.read().values() {
+            h.reset();
+        }
+    }
+
+    /// Serializable point-in-time view of every metric.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self
+                .counters
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Human-readable rendering of the whole registry, grouped by the
+    /// first dotted name segment.
+    pub fn render_text(&self) -> String {
+        self.snapshot().render_text()
+    }
+}
+
+/// A serializable point-in-time view of a [`Registry`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct RegistrySnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// The snapshot as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("registry snapshot serializes")
+    }
+
+    /// Parse a snapshot back from JSON.
+    pub fn from_json(s: &str) -> Result<RegistrySnapshot, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// A counter value by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Human-readable table, grouped by the first dotted name segment.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let mut last_group = "";
+        for (name, value) in &self.counters {
+            let group = name.split('.').next().unwrap_or("");
+            if group != last_group {
+                if !out.is_empty() {
+                    out.push('\n');
+                }
+                out.push_str(&format!("== {group} ==\n"));
+                last_group = group;
+            }
+            out.push_str(&format!("  {name:<42} {value:>10}\n"));
+        }
+        if !self.histograms.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&self.render_latency_text());
+        }
+        out
+    }
+
+    /// Just the histogram summaries, as a `== latency ==` table.
+    pub fn render_latency_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== latency ==\n");
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "  {:<42} n={:<8} mean={:<9} p50={:<9} p90={:<9} p99={}\n",
+                name,
+                h.count,
+                format_nanos(h.mean_nanos),
+                format_nanos(h.p50_nanos),
+                format_nanos(h.p90_nanos),
+                format_nanos(h.p99_nanos),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_same_metric() {
+        let r = Registry::new();
+        let a = r.counter("x.hits");
+        let b = r.counter("x.hits");
+        a.inc();
+        assert_eq!(b.get(), 1);
+        assert_eq!(r.counter_names(), vec!["x.hits".to_owned()]);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_json() {
+        let r = Registry::new();
+        r.counter("pipeline.total").add(7);
+        r.histogram("pipeline.latency").record_nanos(5_000);
+        let snap = r.snapshot();
+        let json = snap.to_json();
+        let back = RegistrySnapshot::from_json(&json).unwrap();
+        assert_eq!(snap, back);
+        assert_eq!(back.counter("pipeline.total"), 7);
+        assert_eq!(back.histograms["pipeline.latency"].count, 1);
+    }
+
+    #[test]
+    fn render_groups_by_prefix() {
+        let r = Registry::new();
+        r.counter("cache.hits").add(3);
+        r.counter("cache.misses").add(1);
+        r.counter("pipeline.total").add(4);
+        r.histogram("pipeline.classify").record_nanos(2_000_000);
+        let text = r.render_text();
+        assert!(text.contains("== cache =="), "{text}");
+        assert!(text.contains("== pipeline =="), "{text}");
+        assert!(text.contains("== latency =="), "{text}");
+        assert!(text.contains("cache.hits"), "{text}");
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let r = Registry::new();
+        r.counter("a.b").add(9);
+        r.histogram("a.h").record_nanos(10);
+        r.reset();
+        assert_eq!(r.snapshot().counter("a.b"), 0);
+        assert_eq!(r.snapshot().histograms["a.h"].count, 0);
+    }
+}

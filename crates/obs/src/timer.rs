@@ -1,0 +1,91 @@
+//! RAII latency timer.
+
+use crate::histogram::Histogram;
+use std::time::Instant;
+
+/// A guard that records its lifetime into a [`Histogram`] on drop.
+///
+/// ```
+/// use asdb_obs::{Histogram, Timer};
+/// let h = Histogram::new();
+/// {
+///     let _t = Timer::start(&h);
+///     // ... timed work ...
+/// }
+/// assert_eq!(h.count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Timer<'a> {
+    hist: &'a Histogram,
+    start: Instant,
+    armed: bool,
+}
+
+impl<'a> Timer<'a> {
+    /// Start timing against `hist`.
+    pub fn start(hist: &'a Histogram) -> Timer<'a> {
+        Timer {
+            hist,
+            start: Instant::now(),
+            armed: true,
+        }
+    }
+
+    /// Elapsed time so far.
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.start.elapsed()
+    }
+
+    /// Stop and record now (instead of at scope end).
+    pub fn stop(mut self) {
+        self.record();
+    }
+
+    /// Abandon the measurement: nothing is recorded.
+    pub fn cancel(mut self) {
+        self.armed = false;
+    }
+
+    fn record(&mut self) {
+        if self.armed {
+            self.armed = false;
+            self.hist.record(self.start.elapsed());
+        }
+    }
+}
+
+impl Drop for Timer<'_> {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_on_drop() {
+        let h = Histogram::new();
+        {
+            let _t = Timer::start(&h);
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn stop_records_once() {
+        let h = Histogram::new();
+        let t = Timer::start(&h);
+        t.stop();
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn cancel_records_nothing() {
+        let h = Histogram::new();
+        let t = Timer::start(&h);
+        t.cancel();
+        assert_eq!(h.count(), 0);
+    }
+}

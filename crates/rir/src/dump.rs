@@ -69,10 +69,7 @@ pub fn read_dump(input: &str) -> Vec<WhoisRecord> {
         }
         for (k, (start, rir)) in banner_at.iter().enumerate() {
             current_rir = *rir;
-            let end = banner_at
-                .get(k + 1)
-                .map(|(e, _)| *e)
-                .unwrap_or(lines.len());
+            let end = banner_at.get(k + 1).map(|(e, _)| *e).unwrap_or(lines.len());
             regions.push((current_rir, lines[*start..end].join("\n")));
         }
     }
@@ -202,7 +199,10 @@ mod tests {
 
     fn sample_records() -> Vec<WhoisRecord> {
         let mut recs = Vec::new();
-        for (i, rir) in [Rir::Arin, Rir::Ripe, Rir::Ripe, Rir::Lacnic].iter().enumerate() {
+        for (i, rir) in [Rir::Arin, Rir::Ripe, Rir::Ripe, Rir::Lacnic]
+            .iter()
+            .enumerate()
+        {
             let mut reg = Registration::bare(Asn::new(1000 + i as u32), &format!("AS-NAME-{i}"));
             reg.org_name = Some(format!("Org {i}"));
             recs.push(serialize(*rir, &reg));
@@ -249,7 +249,10 @@ mod tests {
         let back = read_dump(text);
         assert_eq!(back.len(), 1);
         assert_eq!(back[0].objects.len(), 2);
-        assert_eq!(back[0].organisation().unwrap().first("org-name"), Some("Seven Ltd"));
+        assert_eq!(
+            back[0].organisation().unwrap().first("org-name"),
+            Some("Seven Ltd")
+        );
     }
 
     #[test]

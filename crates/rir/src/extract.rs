@@ -98,8 +98,7 @@ const REMARK_ATTRS: [&str; 2] = ["remarks", "comment"];
 
 /// Run the Appendix A extraction over a record.
 pub fn extract(record: &WhoisRecord) -> ParsedWhois {
-    let as_name = first_of(record, &AS_NAME_ATTRS)
-        .unwrap_or_else(|| record.asn.to_string());
+    let as_name = first_of(record, &AS_NAME_ATTRS).unwrap_or_else(|| record.asn.to_string());
 
     // Name preference: org name > description > AS name.
     let (name, name_source) = if let Some(n) = first_of(record, &ORG_NAME_ATTRS) {
@@ -169,9 +168,9 @@ fn first_non_address_descr(record: &WhoisRecord) -> Option<String> {
 fn looks_like_address(v: &str) -> bool {
     let parts: Vec<&str> = v.split(',').map(str::trim).collect();
     parts.len() >= 2
-        && parts.iter().any(|p| {
-            p.starts_with(|c: char| c.is_ascii_digit()) || p.chars().all(|c| c == '*')
-        })
+        && parts
+            .iter()
+            .any(|p| p.starts_with(|c: char| c.is_ascii_digit()) || p.chars().all(|c| c == '*'))
 }
 
 fn extract_address(record: &WhoisRecord) -> Option<String> {
@@ -396,9 +395,7 @@ mod tests {
 
     #[test]
     fn scan_urls_finds_multiple() {
-        let urls = scan_urls(
-            "visit https://example.com/a and http://other.org, or nothing",
-        );
+        let urls = scan_urls("visit https://example.com/a and http://other.org, or nothing");
         assert_eq!(urls.len(), 2);
         assert_eq!(urls[0].host.as_str(), "example.com");
         assert_eq!(urls[1].host.as_str(), "other.org");

@@ -168,7 +168,11 @@ mod tests {
     fn first_and_all() {
         let o = sample();
         assert_eq!(o.first("as-name"), Some("LEVEL3"));
-        assert_eq!(o.first("AS-NAME"), Some("LEVEL3"), "lookup is case-insensitive");
+        assert_eq!(
+            o.first("AS-NAME"),
+            Some("LEVEL3"),
+            "lookup is case-insensitive"
+        );
         assert_eq!(o.all("remarks"), vec!["first remark", "second remark"]);
         assert!(o.first("mnt-by").is_none());
         assert!(o.has("remarks"));

@@ -73,6 +73,11 @@ impl Clearbit {
     pub fn len(&self) -> usize {
         self.registry.len()
     }
+
+    /// Whether the listing is empty.
+    pub fn is_empty(&self) -> bool {
+        self.registry.is_empty()
+    }
 }
 
 impl DataSource for Clearbit {

@@ -41,8 +41,7 @@ pub(crate) fn emit_scheme_label(
     // Two-stage draw, mirroring `emit_naics_label`: layer-1 first, then
     // layer-2 conditionally.
     let l1_right = rng.random_bool(profile.l1_correct);
-    let p_l2_given_l1 =
-        (correctness_for(profile, org) / profile.l1_correct).clamp(0.0, 1.0);
+    let p_l2_given_l1 = (correctness_for(profile, org) / profile.l1_correct).clamp(0.0, 1.0);
     let correct = l1_right && rng.random_bool(p_l2_given_l1);
     let chosen = if correct {
         let covering = scheme.covering(Category::l2(target));
@@ -116,6 +115,11 @@ impl Crunchbase {
     pub fn len(&self) -> usize {
         self.registry.len()
     }
+
+    /// Whether the listing is empty.
+    pub fn is_empty(&self) -> bool {
+        self.registry.is_empty()
+    }
 }
 
 impl DataSource for Crunchbase {
@@ -146,7 +150,9 @@ impl DataSource for Crunchbase {
         // what makes it 95% precise but low-coverage.
         let name = query.name.as_deref()?;
         let (entry, score) = self.registry.best_name_match(name)?;
-        (score >= 0.82).then(|| self.lookup_org(entry.org)).flatten()
+        (score >= 0.82)
+            .then(|| self.lookup_org(entry.org))
+            .flatten()
     }
 }
 
@@ -195,7 +201,11 @@ mod tests {
         for org in &w.orgs {
             if let (Some(d), Some(_)) = (&org.domain, c.lookup_org(org.id)) {
                 let m = c.search(&Query::by_domain(d.clone())).unwrap();
-                assert_eq!(m.entity, Some(org.id), "domain matching must be 100% precise");
+                assert_eq!(
+                    m.entity,
+                    Some(org.id),
+                    "domain matching must be 100% precise"
+                );
                 n += 1;
                 if n > 40 {
                     break;
@@ -208,7 +218,9 @@ mod tests {
     #[test]
     fn name_query_requires_high_similarity() {
         let (_, c) = setup();
-        assert!(c.search(&Query::by_name("completely unrelated gibberish")).is_none());
+        assert!(c
+            .search(&Query::by_name("completely unrelated gibberish"))
+            .is_none());
     }
 
     #[test]

@@ -47,14 +47,18 @@ impl Dnb {
         self.registry.len()
     }
 
+    /// Whether the listing is empty.
+    pub fn is_empty(&self) -> bool {
+        self.registry.is_empty()
+    }
+
     /// Match quality → confidence code, with ±1 editorial noise. The
     /// mapping is deliberately steep near the top: only near-exact,
     /// unambiguous matches reach codes 9–10, and the sub-0.7 quality zone
     /// (where homonym mismatches live) lands below the reliability
     /// threshold — producing Figure 2's accuracy-by-code shape.
     fn confidence(&self, quality: f64, name: &str) -> ConfidenceCode {
-        let mut rng =
-            StdRng::seed_from_u64(self.seed.derive("conf").derive(name).value());
+        let mut rng = StdRng::seed_from_u64(self.seed.derive("conf").derive(name).value());
         let base = (2.0 + 9.0 * (quality - 0.55) / 0.45).round() as i32;
         let noisy = (base + rng.random_range(-1..=1)).clamp(1, 10);
         ConfidenceCode::new(noisy as u8).expect("clamped to range")
@@ -193,7 +197,11 @@ mod tests {
         let (_, d) = setup();
         let m = d.search(&Query::by_name("zzzz qqqq completely unknown entity"));
         if let Some(m) = m {
-            assert!(m.confidence.unwrap().value() <= 6, "conf = {:?}", m.confidence);
+            assert!(
+                m.confidence.unwrap().value() <= 6,
+                "conf = {:?}",
+                m.confidence
+            );
         }
     }
 
@@ -228,7 +236,11 @@ mod tests {
     #[test]
     fn manual_lookup_only_for_covered_orgs() {
         let (w, d) = setup();
-        let covered = w.orgs.iter().filter(|o| d.lookup_org(o.id).is_some()).count();
+        let covered = w
+            .orgs
+            .iter()
+            .filter(|o| d.lookup_org(o.id).is_some())
+            .count();
         assert_eq!(covered, d.len());
     }
 }

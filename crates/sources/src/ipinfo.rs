@@ -70,8 +70,7 @@ impl Ipinfo {
         let mut by_asn = HashMap::new();
         let mut org_example = HashMap::new();
         for (i, rec) in world.ases.iter().enumerate() {
-            let mut rng =
-                StdRng::seed_from_u64(seed.derive_index("ipinfo", i as u64).value());
+            let mut rng = StdRng::seed_from_u64(seed.derive_index("ipinfo", i as u64).value());
             let org = world.org(rec.org).expect("owner exists");
             let cover_p = if org.is_tech() {
                 p.coverage_tech
@@ -99,12 +98,20 @@ impl Ipinfo {
             );
             org_example.entry(org.id).or_insert(rec.asn);
         }
-        Ipinfo { by_asn, org_example }
+        Ipinfo {
+            by_asn,
+            org_example,
+        }
     }
 
     /// Number of covered ASes.
     pub fn len(&self) -> usize {
         self.by_asn.len()
+    }
+
+    /// Whether the listing is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_asn.is_empty()
     }
 
     /// The raw four-way class for an ASN.

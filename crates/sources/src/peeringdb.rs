@@ -24,11 +24,7 @@ pub struct PeeringDb {
 }
 
 /// The type an operator of this org would self-report.
-fn self_reported_type(
-    org: &Organization,
-    p: &PeeringDbProfile,
-    rng: &mut StdRng,
-) -> PeeringDbType {
+fn self_reported_type(org: &Organization, p: &PeeringDbProfile, rng: &mut StdRng) -> PeeringDbType {
     let truthful = rng.random_bool(p.type_correct);
     if !truthful {
         return *PeeringDbType::ALL.choose(rng).expect("non-empty");
@@ -63,8 +59,7 @@ impl PeeringDb {
         let mut by_asn = HashMap::new();
         let mut by_org = HashMap::new();
         for (i, org) in world.orgs.iter().enumerate() {
-            let mut rng =
-                StdRng::seed_from_u64(seed.derive_index("pdb", i as u64).value());
+            let mut rng = StdRng::seed_from_u64(seed.derive_index("pdb", i as u64).value());
             let network_ish = matches!(
                 org.category,
                 c if c == known::isp() || c == known::ixp() || c == known::hosting()
@@ -93,6 +88,11 @@ impl PeeringDb {
     /// Number of registered ASes.
     pub fn len(&self) -> usize {
         self.by_asn.len()
+    }
+
+    /// Whether the listing is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_asn.is_empty()
     }
 
     /// The raw self-reported type for an ASN.
@@ -148,7 +148,11 @@ mod tests {
         for rec in &w.ases {
             let covered = p.network_type(rec.asn).is_some();
             let org = w.org_of(rec.asn).unwrap();
-            let slot = if org.is_tech() { &mut tech } else { &mut nontech };
+            let slot = if org.is_tech() {
+                &mut tech
+            } else {
+                &mut nontech
+            };
             slot.0 += usize::from(covered);
             slot.1 += 1;
         }

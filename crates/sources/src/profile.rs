@@ -155,6 +155,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // calibration guards on consts
     fn hosting_is_every_registry_sources_weakest_class() {
         for p in [DNB, CRUNCHBASE] {
             assert!(p.l2_correct_hosting < p.l2_correct_isp);
@@ -164,11 +165,13 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // calibration guards on consts
     fn clearbit_cannot_express_tech() {
         assert!(CLEARBIT.l2_correct_tech < 0.10);
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // calibration guards on consts
     fn networking_sources_skew_tech() {
         assert!(PEERINGDB.coverage_network > PEERINGDB.coverage_nontech * 5.0);
         assert!(IPINFO.coverage_tech > IPINFO.coverage_nontech);

@@ -173,8 +173,7 @@ pub fn emit_naics_label(
     // profile's `l1_correct` is the *marginal* layer-1 accuracy), then —
     // conditionally — whether the layer-2 subcategory is right too.
     let l1_right = rng.random_bool(profile.l1_correct);
-    let p_l2_given_l1 =
-        (correctness_for(profile, org) / profile.l1_correct).clamp(0.0, 1.0);
+    let p_l2_given_l1 = (correctness_for(profile, org) / profile.l1_correct).clamp(0.0, 1.0);
     let correct = l1_right && rng.random_bool(p_l2_given_l1);
     let code: NaicsCode = if correct {
         // Prefer candidates whose translation actually lands back on the

@@ -32,6 +32,11 @@ impl ZoomInfo {
     pub fn len(&self) -> usize {
         self.registry.len()
     }
+
+    /// Whether the listing is empty.
+    pub fn is_empty(&self) -> bool {
+        self.registry.is_empty()
+    }
 }
 
 impl DataSource for ZoomInfo {
@@ -59,7 +64,9 @@ impl DataSource for ZoomInfo {
         }
         let name = query.name.as_deref()?;
         let (entry, score) = self.registry.best_name_match(name)?;
-        (score >= 0.60).then(|| self.lookup_org(entry.org)).flatten()
+        (score >= 0.60)
+            .then(|| self.lookup_org(entry.org))
+            .flatten()
     }
 }
 

@@ -93,9 +93,8 @@ impl Zvelo {
 
     /// Zvelo's taxonomy mapping with the calibrated ambiguity noise.
     fn map_to_scheme(&self, top: Layer2, domain: &Domain) -> (String, CategorySet) {
-        let mut rng = StdRng::seed_from_u64(
-            self.seed.derive("map").derive(domain.as_str()).value(),
-        );
+        let mut rng =
+            StdRng::seed_from_u64(self.seed.derive("map").derive(domain.as_str()).value());
         let kept_prob = if top == known::hosting() {
             self.profile.hosting_kept
         } else if top == known::isp() {
@@ -107,7 +106,7 @@ impl Zvelo {
         };
         if rng.random_bool(kept_prob) {
             if let Some(cat) = ZVELO.covering(Category::l2(top)).first() {
-                return ((*cat).name.to_owned(), (*cat).to_naicslite());
+                return (cat.name.to_owned(), cat.to_naicslite());
             }
         }
         // Generic fallback labels: right neighborhood, wrong subcategory.
@@ -123,7 +122,7 @@ impl Zvelo {
             .filter(|c| !c.to_naicslite().layer2s().contains(&top))
             .collect::<Vec<_>>();
         if let Some(cat) = pick.choose(&mut rng) {
-            return ((**cat).name.to_owned(), (**cat).to_naicslite());
+            return (cat.name.to_owned(), cat.to_naicslite());
         }
         let name = fallback_names
             .choose(&mut rng)
@@ -187,13 +186,17 @@ mod tests {
             .iter()
             .find(|o| o.live_site && o.domain.is_some())
             .unwrap();
-        assert!(z.search(&Query::by_domain(live.domain.clone().unwrap())).is_some());
+        assert!(z
+            .search(&Query::by_domain(live.domain.clone().unwrap()))
+            .is_some());
         let dead = w
             .orgs
             .iter()
             .find(|o| !o.live_site && o.domain.is_some())
             .unwrap();
-        assert!(z.search(&Query::by_domain(dead.domain.clone().unwrap())).is_none());
+        assert!(z
+            .search(&Query::by_domain(dead.domain.clone().unwrap()))
+            .is_none());
     }
 
     #[test]

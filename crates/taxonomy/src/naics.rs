@@ -173,11 +173,23 @@ pub static CATALOG: &[(u32, &str, bool)] = &[
     ),
     // --- Information sector (51) ------------------------------------------
     (517311, "Wired Telecommunications Carriers", false),
-    (517312, "Wireless Telecommunications Carriers (except Satellite)", false),
+    (
+        517312,
+        "Wireless Telecommunications Carriers (except Satellite)",
+        false,
+    ),
     (517410, "Satellite Telecommunications", false),
     (517919, "All Other Telecommunications", false),
-    (518210, "Data Processing, Hosting, and Related Services", false),
-    (519130, "Internet Publishing and Broadcasting and Web Search Portals", false),
+    (
+        518210,
+        "Data Processing, Hosting, and Related Services",
+        false,
+    ),
+    (
+        519130,
+        "Internet Publishing and Broadcasting and Web Search Portals",
+        false,
+    ),
     (511210, "Software Publishers", false),
     (512110, "Motion Picture and Video Production", false),
     (512250, "Record Production and Distribution", false),
@@ -190,12 +202,24 @@ pub static CATALOG: &[(u32, &str, bool)] = &[
     (541511, "Custom Computer Programming Services", false),
     (541513, "Computer Facilities Management Services", false),
     (541519, "Other Computer Related Services", false),
-    (541690, "Other Scientific and Technical Consulting Services", false),
+    (
+        541690,
+        "Other Scientific and Technical Consulting Services",
+        false,
+    ),
     (541110, "Offices of Lawyers", false),
     (541211, "Offices of Certified Public Accountants", false),
     (541214, "Payroll Services", false),
-    (541611, "Administrative Management Consulting Services", false),
-    (541715, "R&D in the Physical, Engineering, and Life Sciences", false),
+    (
+        541611,
+        "Administrative Management Consulting Services",
+        false,
+    ),
+    (
+        541715,
+        "R&D in the Physical, Engineering, and Life Sciences",
+        false,
+    ),
     (541720, "R&D in the Social Sciences and Humanities", false),
     // --- Finance (52) -------------------------------------------------------
     (522110, "Commercial Banking", false),
@@ -205,10 +229,18 @@ pub static CATALOG: &[(u32, &str, bool)] = &[
     (524210, "Insurance Agencies and Brokerages", false),
     (523920, "Portfolio Management", false),
     (525110, "Pension Funds", false),
-    (522320, "Financial Transactions Processing and Clearing", false),
+    (
+        522320,
+        "Financial Transactions Processing and Clearing",
+        false,
+    ),
     // --- Education (61) -----------------------------------------------------
     (611110, "Elementary and Secondary Schools", false),
-    (611310, "Colleges, Universities, and Professional Schools", false),
+    (
+        611310,
+        "Colleges, Universities, and Professional Schools",
+        false,
+    ),
     (611420, "Computer Training", false),
     (611691, "Exam Preparation and Tutoring", false),
     (611512, "Flight Training", false),
@@ -221,7 +253,11 @@ pub static CATALOG: &[(u32, &str, bool)] = &[
     (624410, "Child Day Care Services", false),
     // --- Utilities (22) ------------------------------------------------------
     (221122, "Electric Power Distribution", false),
-    (221121, "Electric Bulk Power Transmission and Control", false),
+    (
+        221121,
+        "Electric Bulk Power Transmission and Control",
+        false,
+    ),
     (221210, "Natural Gas Distribution", false),
     (221310, "Water Supply and Irrigation Systems", false),
     (221320, "Sewage Treatment Facilities", false),
@@ -237,11 +273,19 @@ pub static CATALOG: &[(u32, &str, bool)] = &[
     (324110, "Petroleum Refineries", false),
     // --- Construction & real estate (23, 53) ---------------------------------
     (236115, "New Single-Family Housing Construction", false),
-    (236220, "Commercial and Institutional Building Construction", false),
+    (
+        236220,
+        "Commercial and Institutional Building Construction",
+        false,
+    ),
     (237310, "Highway, Street, and Bridge Construction", false),
     (237130, "Power and Communication Line Construction", false),
     (531210, "Offices of Real Estate Agents and Brokers", false),
-    (531110, "Lessors of Residential Buildings and Dwellings", false),
+    (
+        531110,
+        "Lessors of Residential Buildings and Dwellings",
+        false,
+    ),
     // --- Arts, entertainment (71) --------------------------------------------
     (712110, "Museums", false),
     (712130, "Zoos and Botanical Gardens", false),
@@ -252,7 +296,11 @@ pub static CATALOG: &[(u32, &str, bool)] = &[
     (711130, "Musical Groups and Artists", false),
     // --- Accommodation & food (72) --------------------------------------------
     (721110, "Hotels (except Casino Hotels) and Motels", false),
-    (721211, "RV (Recreational Vehicle) Parks and Campgrounds", false),
+    (
+        721211,
+        "RV (Recreational Vehicle) Parks and Campgrounds",
+        false,
+    ),
     (721310, "Rooming and Boarding Houses, Dormitories", false),
     (722511, "Full-Service Restaurants", false),
     // --- Transportation (48-49) -------------------------------------------------
@@ -263,14 +311,26 @@ pub static CATALOG: &[(u32, &str, bool)] = &[
     (485210, "Interurban and Rural Bus Transportation", false),
     (491110, "Postal Service", false),
     (492110, "Couriers and Express Delivery Services", false),
-    (481212, "Nonscheduled Chartered Freight Air Transportation", false),
-    (487210, "Scenic and Sightseeing Transportation, Water", false),
+    (
+        481212,
+        "Nonscheduled Chartered Freight Air Transportation",
+        false,
+    ),
+    (
+        487210,
+        "Scenic and Sightseeing Transportation, Water",
+        false,
+    ),
     (927110, "Space Research and Technology", false),
     // --- Retail & wholesale (42, 44-45) ------------------------------------------
     (445110, "Supermarkets and Other Grocery Stores", false),
     (448120, "Women's Clothing Stores", false),
     (454110, "Electronic Shopping and Mail-Order Houses", false),
-    (423430, "Computer and Computer Peripheral Equipment Merchant Wholesalers", false),
+    (
+        423430,
+        "Computer and Computer Peripheral Equipment Merchant Wholesalers",
+        false,
+    ),
     // --- Manufacturing (31-33) -----------------------------------------------------
     (336111, "Automobile Manufacturing", false),
     (311230, "Breakfast Cereal Manufacturing", false),
@@ -278,7 +338,11 @@ pub static CATALOG: &[(u32, &str, bool)] = &[
     (333120, "Construction Machinery Manufacturing", false),
     (325412, "Pharmaceutical Preparation Manufacturing", false),
     (334111, "Electronic Computer Manufacturing", false),
-    (334413, "Semiconductor and Related Device Manufacturing", false),
+    (
+        334413,
+        "Semiconductor and Related Device Manufacturing",
+        false,
+    ),
     // --- Government (92) --------------------------------------------------------------
     (928110, "National Security", false),
     (922120, "Police Protection", false),
@@ -287,7 +351,11 @@ pub static CATALOG: &[(u32, &str, bool)] = &[
     // --- Nonprofits & religious (81) ----------------------------------------------------
     (813110, "Religious Organizations", false),
     (813311, "Human Rights Organizations", false),
-    (813312, "Environment, Conservation and Wildlife Organizations", false),
+    (
+        813312,
+        "Environment, Conservation and Wildlife Organizations",
+        false,
+    ),
     (813410, "Civic and Social Organizations", false),
     // --- Services (56, 81) ------------------------------------------------------------------
     (561612, "Security Guards and Patrol Services", false),
@@ -409,7 +477,10 @@ mod tests {
     #[test]
     fn sector_titles() {
         assert_eq!(NaicsCode::six(517911).sector_title(), "Information");
-        assert_eq!(NaicsCode::six(622110).sector_title(), "Health Care and Social Assistance");
+        assert_eq!(
+            NaicsCode::six(622110).sector_title(),
+            "Health Care and Social Assistance"
+        );
     }
 
     proptest! {

@@ -701,7 +701,10 @@ mod tests {
         // "9" counts substantive subcategories, excluding the Other bucket.
         for l1 in Layer1::ALL {
             let substantive = l1.layer2_iter().filter(|l2| !l2.is_other()).count();
-            assert!(substantive <= 9, "{l1:?} has {substantive} substantive subcategories");
+            assert!(
+                substantive <= 9,
+                "{l1:?} has {substantive} substantive subcategories"
+            );
         }
     }
 
@@ -796,7 +799,11 @@ mod tests {
     fn all_layer2_names_unique_within_parent() {
         for l1 in Layer1::ALL {
             let names: BTreeSet<&str> = l1.layer2_names().iter().copied().collect();
-            assert_eq!(names.len(), l1.layer2_names().len(), "{l1:?} has duplicate subcategories");
+            assert_eq!(
+                names.len(),
+                l1.layer2_names().len(),
+                "{l1:?} has duplicate subcategories"
+            );
         }
     }
 

@@ -560,7 +560,12 @@ mod tests {
                     scheme.source,
                     c.name
                 );
-                assert!(!set.is_empty(), "{}/{} maps to nothing", scheme.source, c.name);
+                assert!(
+                    !set.is_empty(),
+                    "{}/{} maps to nothing",
+                    scheme.source,
+                    c.name
+                );
                 // And none may have been silently dropped by Layer2::new.
                 for (l1, idx) in c.targets {
                     if let Some(i) = idx {

@@ -115,16 +115,36 @@ static RULES: &[Rule] = &[
     // ---- Information sector: the interesting part ------------------------------------------
     // ISPs and phone providers share wired-carrier codes — NAICS "combines
     // ISPs and phone providers in one code" (§3.2).
-    rule(517311, 6, &[(ComputerAndIT, Some(0)), (ComputerAndIT, Some(1))]),
-    rule(517312, 6, &[(ComputerAndIT, Some(1)), (ComputerAndIT, Some(0))]),
+    rule(
+        517311,
+        6,
+        &[(ComputerAndIT, Some(0)), (ComputerAndIT, Some(1))],
+    ),
+    rule(
+        517312,
+        6,
+        &[(ComputerAndIT, Some(1)), (ComputerAndIT, Some(0))],
+    ),
     rule(517410, 6, &[(ComputerAndIT, Some(6))]),
-    rule(517919, 6, &[(ComputerAndIT, Some(0)), (ComputerAndIT, Some(8)), (ComputerAndIT, Some(9))]),
+    rule(
+        517919,
+        6,
+        &[
+            (ComputerAndIT, Some(0)),
+            (ComputerAndIT, Some(8)),
+            (ComputerAndIT, Some(9)),
+        ],
+    ),
     // The three codes D&B uses "interchangeably to classify both ISPs and
     // hosting providers" (§3.3). The *translation* of each code is specific
     // — resellers, systems design, other information services — which is
     // exactly why D&B's interchangeable use of them destroys layer-2
     // accuracy: the translated label lands on the wrong subcategory.
-    rule(517911, 6, &[(ComputerAndIT, Some(0)), (ComputerAndIT, Some(1))]),
+    rule(
+        517911,
+        6,
+        &[(ComputerAndIT, Some(0)), (ComputerAndIT, Some(1))],
+    ),
     rule(
         541512,
         6,
@@ -132,8 +152,16 @@ static RULES: &[Rule] = &[
     ),
     rule(519190, 6, &[(ComputerAndIT, Some(9))]),
     // "data processing has the same NAICS code as hosting provider" (§3.2).
-    rule(518210, 6, &[(ComputerAndIT, Some(2)), (ComputerAndIT, Some(9))]),
-    rule(519130, 6, &[(Media, Some(1)), (Media, Some(0)), (ComputerAndIT, Some(7))]),
+    rule(
+        518210,
+        6,
+        &[(ComputerAndIT, Some(2)), (ComputerAndIT, Some(9))],
+    ),
+    rule(
+        519130,
+        6,
+        &[(Media, Some(1)), (Media, Some(0)), (ComputerAndIT, Some(7))],
+    ),
     rule(511210, 6, &[(ComputerAndIT, Some(4))]),
     rule(5112, 4, &[(ComputerAndIT, Some(4))]),
     rule(5111, 4, &[(Media, Some(2))]),
@@ -142,8 +170,16 @@ static RULES: &[Rule] = &[
     rule(5151, 4, &[(Media, Some(4))]),
     rule(519120, 6, &[(Entertainment, Some(0))]),
     // ---- Professional / technical services ---------------------------------------------------
-    rule(541511, 6, &[(ComputerAndIT, Some(4)), (ComputerAndIT, Some(5))]),
-    rule(541513, 6, &[(ComputerAndIT, Some(2)), (ComputerAndIT, Some(5))]),
+    rule(
+        541511,
+        6,
+        &[(ComputerAndIT, Some(4)), (ComputerAndIT, Some(5))],
+    ),
+    rule(
+        541513,
+        6,
+        &[(ComputerAndIT, Some(2)), (ComputerAndIT, Some(5))],
+    ),
     rule(541519, 6, &[(ComputerAndIT, Some(9))]),
     rule(541690, 6, &[(Service, Some(0)), (ComputerAndIT, Some(5))]),
     rule(5411, 4, &[(Service, Some(0))]),

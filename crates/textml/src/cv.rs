@@ -169,7 +169,11 @@ mod tests {
         let (docs, labels) = corpus();
         let cv = cross_validate(&docs, &labels, 4, cfg(), WorldSeed::new(1));
         assert_eq!(cv.folds.len(), 4);
-        assert!(cv.mean_accuracy() > 0.8, "mean acc = {}", cv.mean_accuracy());
+        assert!(
+            cv.mean_accuracy() > 0.8,
+            "mean acc = {}",
+            cv.mean_accuracy()
+        );
         assert!(cv.mean_auc() > 0.85, "mean auc = {}", cv.mean_auc());
         assert!(cv.accuracy_std() < 0.35);
     }

@@ -91,7 +91,11 @@ impl Metrics {
     /// with tie handling via midranks. Returns 0.5 when either class is
     /// absent.
     pub fn roc_auc(scores: &[f32], labels: &[bool]) -> f64 {
-        assert_eq!(scores.len(), labels.len(), "scores and labels must be parallel");
+        assert_eq!(
+            scores.len(),
+            labels.len(),
+            "scores and labels must be parallel"
+        );
         let n_pos = labels.iter().filter(|&&l| l).count();
         let n_neg = labels.len() - n_pos;
         if n_pos == 0 || n_neg == 0 {

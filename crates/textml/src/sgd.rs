@@ -58,6 +58,11 @@ pub struct SgdClassifier {
 }
 
 impl SgdClassifier {
+    /// The hyperparameters this classifier was trained with.
+    pub fn config(&self) -> &SgdConfig {
+        &self.config
+    }
+
     /// Train on `(x, y)` pairs, `y ∈ {false, true}`. `n_features` bounds the
     /// weight vector; features at or beyond it are ignored.
     ///
@@ -244,7 +249,11 @@ mod tests {
         let mut ys = Vec::new();
         for i in 0..40 {
             let pos = i % 2 == 0;
-            let f = if pos { [(0u32, 1.0f32), (1, 1.0)] } else { [(2, 1.0), (3, 1.0)] };
+            let f = if pos {
+                [(0u32, 1.0f32), (1, 1.0)]
+            } else {
+                [(2, 1.0), (3, 1.0)]
+            };
             // add slight per-sample variation
             let mut pairs = f.to_vec();
             pairs.push((4 + (i % 3) as u32, 0.5));

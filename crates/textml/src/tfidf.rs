@@ -46,11 +46,7 @@ impl TfidfTransformer {
             self.idf.iter().copied().fold(1.0f32, f32::max)
         };
         let mut weighted = v.map_values(|i, tf| {
-            let idf = self
-                .idf
-                .get(i as usize)
-                .copied()
-                .unwrap_or(default_idf);
+            let idf = self.idf.get(i as usize).copied().unwrap_or(default_idf);
             tf * idf
         });
         let norm = weighted.norm();

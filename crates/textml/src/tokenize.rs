@@ -4,17 +4,16 @@
 /// for the web-page text the scraper produces; matching scikit-learn's
 /// default of *not* stemming.
 pub static STOPWORDS: &[&str] = &[
-    "a", "about", "above", "after", "again", "all", "also", "an", "and", "any", "are", "as",
-    "at", "be", "because", "been", "before", "being", "below", "between", "both", "but", "by",
-    "can", "could", "did", "do", "does", "doing", "down", "during", "each", "few", "for",
-    "from", "further", "had", "has", "have", "having", "he", "her", "here", "hers", "him",
-    "his", "how", "i", "if", "in", "into", "is", "it", "its", "just", "me", "more", "most",
-    "my", "no", "nor", "not", "now", "of", "off", "on", "once", "only", "or", "other", "our",
-    "ours", "out", "over", "own", "same", "she", "should", "so", "some", "such", "than",
-    "that", "the", "their", "theirs", "them", "then", "there", "these", "they", "this",
-    "those", "through", "to", "too", "under", "until", "up", "very", "was", "we", "were",
-    "what", "when", "where", "which", "while", "who", "whom", "why", "will", "with", "you",
-    "your", "yours",
+    "a", "about", "above", "after", "again", "all", "also", "an", "and", "any", "are", "as", "at",
+    "be", "because", "been", "before", "being", "below", "between", "both", "but", "by", "can",
+    "could", "did", "do", "does", "doing", "down", "during", "each", "few", "for", "from",
+    "further", "had", "has", "have", "having", "he", "her", "here", "hers", "him", "his", "how",
+    "i", "if", "in", "into", "is", "it", "its", "just", "me", "more", "most", "my", "no", "nor",
+    "not", "now", "of", "off", "on", "once", "only", "or", "other", "our", "ours", "out", "over",
+    "own", "same", "she", "should", "so", "some", "such", "than", "that", "the", "their", "theirs",
+    "them", "then", "there", "these", "they", "this", "those", "through", "to", "too", "under",
+    "until", "up", "very", "was", "we", "were", "what", "when", "where", "which", "while", "who",
+    "whom", "why", "will", "with", "you", "your", "yours",
 ];
 
 /// Whether a token is a stopword.

@@ -52,11 +52,7 @@ impl SparseVec {
 
     /// L2 norm.
     pub fn norm(&self) -> f32 {
-        self.entries
-            .iter()
-            .map(|(_, v)| v * v)
-            .sum::<f32>()
-            .sqrt()
+        self.entries.iter().map(|(_, v)| v * v).sum::<f32>().sqrt()
     }
 
     /// Scale all values in place.

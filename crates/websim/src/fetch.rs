@@ -174,7 +174,10 @@ mod tests {
     fn latency_is_deterministic() {
         let w = web();
         let url = Url::root(Domain::new("live.example").unwrap());
-        assert_eq!(w.fetch(&url).unwrap().latency, w.fetch(&url).unwrap().latency);
+        assert_eq!(
+            w.fetch(&url).unwrap().latency,
+            w.fetch(&url).unwrap().latency
+        );
     }
 
     #[test]

@@ -93,7 +93,11 @@ impl Page {
                     }
                 }
                 "h1" | "h2" => {
-                    let close = if name.eq_ignore_ascii_case("h1") { "</h1>" } else { "</h2>" };
+                    let close = if name.eq_ignore_ascii_case("h1") {
+                        "</h1>"
+                    } else {
+                        "</h2>"
+                    };
                     if let Some((text, r)) = read_text_until(rest, close) {
                         page.headings.push(unescape(&text));
                         rest = r;

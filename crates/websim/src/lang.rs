@@ -141,7 +141,9 @@ impl Translator {
         }
         let marker = format!("x{}", lang.suffix());
         let mut rng = StdRng::seed_from_u64(
-            self.seed.derive_index("translate", text.len() as u64).value(),
+            self.seed
+                .derive_index("translate", text.len() as u64)
+                .value(),
         );
         text.split('\n')
             .map(|line| {

@@ -15,8 +15,8 @@ use std::time::Duration;
 /// The Figure 3 keyword list: words that "most frequently appear in the
 /// page titles of internal pages containing organization information".
 pub static SCRAPER_KEYWORDS: &[&str] = &[
-    "service", "solution", "about", "who", "do", "it", "us", "our", "company", "network",
-    "online", "connect", "coverage", "history",
+    "service", "solution", "about", "who", "do", "it", "us", "our", "company", "network", "online",
+    "connect", "coverage", "history",
 ];
 
 /// Scraper configuration.

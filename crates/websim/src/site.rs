@@ -94,11 +94,9 @@ impl Website {
             let page = Page {
                 title: "Apache2 Default Page: It works".into(),
                 headings: vec!["It works!".into()],
-                paragraphs: vec![
-                    "This is the default welcome page used to test the correct \
+                paragraphs: vec!["This is the default welcome page used to test the correct \
                      operation of the Apache2 server."
-                        .into(),
-                ],
+                    .into()],
                 ..Page::default()
             };
             pages.insert("/".to_owned(), page.render());
@@ -276,7 +274,10 @@ mod tests {
 
     #[test]
     fn generates_homepage_and_internal_pages() {
-        let site = Website::generate(&spec(SiteQuirks::default(), Language::English), WorldSeed::new(1));
+        let site = Website::generate(
+            &spec(SiteQuirks::default(), Language::English),
+            WorldSeed::new(1),
+        );
         assert!(site.homepage().is_some());
         assert!(site.pages.len() >= 3);
         assert!(site.homepage_title().contains("Acme Hosting"));
@@ -284,7 +285,10 @@ mod tests {
 
     #[test]
     fn hosting_site_contains_hosting_vocab() {
-        let site = Website::generate(&spec(SiteQuirks::default(), Language::English), WorldSeed::new(2));
+        let site = Website::generate(
+            &spec(SiteQuirks::default(), Language::English),
+            WorldSeed::new(2),
+        );
         let all_text: String = site
             .pages
             .values()
@@ -356,7 +360,10 @@ mod tests {
 
     #[test]
     fn foreign_sites_keep_org_name_in_title() {
-        let site = Website::generate(&spec(SiteQuirks::default(), Language::Zonal), WorldSeed::new(6));
+        let site = Website::generate(
+            &spec(SiteQuirks::default(), Language::Zonal),
+            WorldSeed::new(6),
+        );
         assert!(site.homepage_title().contains("Acme Hosting"));
         // But body text is mangled.
         let home = Page::parse(site.homepage().unwrap());
@@ -366,8 +373,14 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let a = Website::generate(&spec(SiteQuirks::default(), Language::English), WorldSeed::new(7));
-        let b = Website::generate(&spec(SiteQuirks::default(), Language::English), WorldSeed::new(7));
+        let a = Website::generate(
+            &spec(SiteQuirks::default(), Language::English),
+            WorldSeed::new(7),
+        );
+        let b = Website::generate(
+            &spec(SiteQuirks::default(), Language::English),
+            WorldSeed::new(7),
+        );
         assert_eq!(a, b);
     }
 

@@ -71,12 +71,7 @@ impl ChurnStream {
         start: Date,
         seed: WorldSeed,
     ) -> ChurnStream {
-        let next_asn = existing
-            .iter()
-            .map(|a| a.value())
-            .max()
-            .unwrap_or(1_000)
-            + 1;
+        let next_asn = existing.iter().map(|a| a.value()).max().unwrap_or(1_000) + 1;
         let next_org = existing_orgs.iter().map(|o| o.value()).max().unwrap_or(0) + 1;
         ChurnStream {
             config,
@@ -147,8 +142,7 @@ impl Iterator for ChurnStream {
             new_ases.push((asn, org, is_new_org));
         }
         // Daily metadata-change hazard so that the windowed total ≈ rate.
-        let daily_rate =
-            self.config.metadata_change_rate / f64::from(self.config.window_days);
+        let daily_rate = self.config.metadata_change_rate / f64::from(self.config.window_days);
         let mut metadata_changes = Vec::new();
         // Sample a Poisson count over the population rather than a Bernoulli
         // per AS (population is large, rate tiny).
@@ -172,7 +166,10 @@ mod tests {
     use super::*;
 
     fn population() -> (Vec<Asn>, Vec<OrgId>) {
-        let ases: Vec<Asn> = (1000..1_000 + 100_000u32).step_by(10).map(Asn::new).collect();
+        let ases: Vec<Asn> = (1000..1_000 + 100_000u32)
+            .step_by(10)
+            .map(Asn::new)
+            .collect();
         let orgs: Vec<OrgId> = (0..9_000u64).map(OrgId::new).collect();
         (ases, orgs)
     }

@@ -44,18 +44,18 @@ pub fn layer1_weight(l1: Layer1) -> f64 {
 pub fn layer2_weight(l2: Layer2) -> f64 {
     use Layer1::*;
     match (l2.layer1, l2.index()) {
-        (ComputerAndIT, 0) => 0.64, // ISP
-        (ComputerAndIT, 1) => 0.04, // phone
-        (ComputerAndIT, 2) => 0.14, // hosting
-        (ComputerAndIT, 3) => 0.02, // security
-        (ComputerAndIT, 4) => 0.06, // software
-        (ComputerAndIT, 5) => 0.04, // consulting
-        (ComputerAndIT, 6) => 0.01, // satellite
+        (ComputerAndIT, 0) => 0.64,  // ISP
+        (ComputerAndIT, 1) => 0.04,  // phone
+        (ComputerAndIT, 2) => 0.14,  // hosting
+        (ComputerAndIT, 3) => 0.02,  // security
+        (ComputerAndIT, 4) => 0.06,  // software
+        (ComputerAndIT, 5) => 0.04,  // consulting
+        (ComputerAndIT, 6) => 0.01,  // satellite
         (ComputerAndIT, 7) => 0.005, // search
         (ComputerAndIT, 8) => 0.015, // IXP
-        (ComputerAndIT, 9) => 0.03, // other
-        (Education, 1) => 0.55,     // universities dominate AS-owning edu
-        (Education, 3) => 0.25,     // research orgs
+        (ComputerAndIT, 9) => 0.03,  // other
+        (Education, 1) => 0.55,      // universities dominate AS-owning edu
+        (Education, 3) => 0.25,      // research orgs
         _ => {
             // Uniform-ish within parent with a heavier first subcategory,
             // lighter "Other".
@@ -128,7 +128,11 @@ impl CategoryMix {
             .iter()
             .position(|c| *c == l2)
             .expect("all 95 categories present");
-        let prev = if idx == 0 { 0.0 } else { self.cumulative[idx - 1] };
+        let prev = if idx == 0 {
+            0.0
+        } else {
+            self.cumulative[idx - 1]
+        };
         self.cumulative[idx] - prev
     }
 
@@ -176,10 +180,7 @@ mod tests {
                 assert!(p_isp > mix.probability(l2), "{l2} outweighs ISP");
             }
             if l2 != known::isp() && l2 != known::hosting() {
-                assert!(
-                    p_hosting >= mix.probability(l2),
-                    "{l2} outweighs hosting"
-                );
+                assert!(p_hosting >= mix.probability(l2), "{l2} outweighs hosting");
             }
         }
     }

@@ -5,8 +5,8 @@
 //! on: token overlap between the name and the website title, legal-suffix
 //! noise, and WHOIS name variants ("stale or abbreviated spellings").
 
-use asdb_model::{CountryCode, Domain, WorldSeed};
 use asdb_model::country::Region;
+use asdb_model::{CountryCode, Domain, WorldSeed};
 use asdb_taxonomy::{Layer1, Layer2};
 use rand::rngs::StdRng;
 use rand::seq::IndexedRandom;
@@ -16,16 +16,16 @@ use rand::{RngExt, SeedableRng};
 fn syllables(region: Region) -> &'static [&'static str] {
     match region {
         Region::NorthAmerica => &[
-            "nor", "tel", "ridge", "sum", "mid", "west", "lake", "front", "blue", "cedar",
-            "stone", "path", "clear", "gran", "pine",
+            "nor", "tel", "ridge", "sum", "mid", "west", "lake", "front", "blue", "cedar", "stone",
+            "path", "clear", "gran", "pine",
         ],
         Region::Europe => &[
             "euro", "nord", "alpen", "rhein", "balt", "iber", "gallo", "brit", "hansa", "vola",
             "dan", "terra", "luma", "ost", "sud",
         ],
         Region::AsiaPacific => &[
-            "asia", "paci", "sun", "east", "lotus", "han", "mei", "koa", "sakura", "indo",
-            "mala", "kiwi", "orient", "taka", "ming",
+            "asia", "paci", "sun", "east", "lotus", "han", "mei", "koa", "sakura", "indo", "mala",
+            "kiwi", "orient", "taka", "ming",
         ],
         Region::Africa => &[
             "afri", "sahel", "kili", "zam", "nile", "atlas", "savan", "cape", "lagos", "accra",
@@ -41,7 +41,14 @@ fn syllables(region: Region) -> &'static [&'static str] {
 /// Industry words appended to names, by layer-1 category.
 fn industry_word(l1: Layer1, rng: &mut StdRng) -> &'static str {
     let options: &[&str] = match l1 {
-        Layer1::ComputerAndIT => &["Telecom", "Networks", "Net", "Online", "Digital", "Communications"],
+        Layer1::ComputerAndIT => &[
+            "Telecom",
+            "Networks",
+            "Net",
+            "Online",
+            "Digital",
+            "Communications",
+        ],
         Layer1::Media => &["Media", "Broadcasting", "Press", "Publishing"],
         Layer1::Finance => &["Bank", "Financial", "Capital", "Insurance"],
         Layer1::Education => &["University", "Institute", "College", "Academy"],
@@ -78,7 +85,9 @@ fn legal_suffix(region: Region, rng: &mut StdRng) -> &'static str {
 pub fn countries(region: Region) -> &'static [&'static str] {
     match region {
         Region::NorthAmerica => &["US", "US", "US", "CA"],
-        Region::Europe => &["DE", "GB", "FR", "NL", "RU", "IT", "ES", "PL", "SE", "UA", "CH", "RO"],
+        Region::Europe => &[
+            "DE", "GB", "FR", "NL", "RU", "IT", "ES", "PL", "SE", "UA", "CH", "RO",
+        ],
         Region::AsiaPacific => &["CN", "JP", "IN", "AU", "KR", "ID", "SG", "HK", "TW", "VN"],
         Region::Africa => &["ZA", "NG", "KE", "EG", "GH", "TZ", "MA"],
         Region::LatinAmerica => &["BR", "AR", "MX", "CL", "CO", "PE", "EC"],
@@ -116,23 +125,41 @@ pub fn fabricate(index: u64, category: Layer2, region: Region, seed: WorldSeed) 
     let legal_name = format!("{stem_cap} {industry} {suffix}");
     let tld = match region {
         Region::NorthAmerica => "com",
-        Region::Europe => *["com", "net", "de", "eu", "uk"].choose(&mut rng).expect("non-empty"),
-        Region::AsiaPacific => *["com", "net", "cn", "jp", "in"].choose(&mut rng).expect("non-empty"),
-        Region::Africa => *["com", "za", "ng", "net"].choose(&mut rng).expect("non-empty"),
-        Region::LatinAmerica => *["com", "br", "ar", "mx", "net"].choose(&mut rng).expect("non-empty"),
+        Region::Europe => *["com", "net", "de", "eu", "uk"]
+            .choose(&mut rng)
+            .expect("non-empty"),
+        Region::AsiaPacific => *["com", "net", "cn", "jp", "in"]
+            .choose(&mut rng)
+            .expect("non-empty"),
+        Region::Africa => *["com", "za", "ng", "net"]
+            .choose(&mut rng)
+            .expect("non-empty"),
+        Region::LatinAmerica => *["com", "br", "ar", "mx", "net"]
+            .choose(&mut rng)
+            .expect("non-empty"),
     };
-    let domain_label = format!("{}{}", stem.to_lowercase(), industry.to_lowercase().replace(' ', ""));
+    let domain_label = format!(
+        "{}{}",
+        stem.to_lowercase(),
+        industry.to_lowercase().replace(' ', "")
+    );
     let domain = Domain::new(&format!("{domain_label}.{tld}"))
         .unwrap_or_else(|_| Domain::new("fallback.example").expect("static domain valid"));
     let country_code = countries(region)
         .choose(&mut rng)
         .expect("non-empty country pool");
     let country = CountryCode::new(country_code).expect("pool codes valid");
-    let street = format!("{} {} St", rng.random_range(1..9999u32), capitalize(syl.choose(&mut rng).expect("non-empty")));
+    let street = format!(
+        "{} {} St",
+        rng.random_range(1..9999u32),
+        capitalize(syl.choose(&mut rng).expect("non-empty"))
+    );
     let city = capitalize(&format!(
         "{}{}",
         syl.choose(&mut rng).expect("non-empty"),
-        ["ville", "burg", "ton", " City", "port"].choose(&mut rng).expect("non-empty")
+        ["ville", "burg", "ton", " City", "port"]
+            .choose(&mut rng)
+            .expect("non-empty")
     ));
     Identity {
         legal_name,

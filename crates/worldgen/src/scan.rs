@@ -77,9 +77,15 @@ mod tests {
 
     #[test]
     fn critical_infrastructure_exceeds_tech() {
-        assert!(telnet_exposure_rate(Layer1::Utilities) > telnet_exposure_rate(Layer1::ComputerAndIT));
-        assert!(telnet_exposure_rate(Layer1::Government) > telnet_exposure_rate(Layer1::ComputerAndIT));
-        assert!(telnet_exposure_rate(Layer1::Finance) > telnet_exposure_rate(Layer1::ComputerAndIT));
+        assert!(
+            telnet_exposure_rate(Layer1::Utilities) > telnet_exposure_rate(Layer1::ComputerAndIT)
+        );
+        assert!(
+            telnet_exposure_rate(Layer1::Government) > telnet_exposure_rate(Layer1::ComputerAndIT)
+        );
+        assert!(
+            telnet_exposure_rate(Layer1::Finance) > telnet_exposure_rate(Layer1::ComputerAndIT)
+        );
     }
 
     #[test]

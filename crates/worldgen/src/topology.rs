@@ -79,8 +79,8 @@ impl AsGraph {
             .iter()
             .filter_map(|rec| {
                 let org = world.org(rec.org)?;
-                let is_net = org.truth().layer2s().contains(&known::isp())
-                    || org.category == known::ixp();
+                let is_net =
+                    org.truth().layer2s().contains(&known::isp()) || org.category == known::ixp();
                 is_net.then_some((rec, org.employees))
             })
             .collect();
@@ -97,7 +97,9 @@ impl AsGraph {
             }
         }
         for rec in &world.ases {
-            let Some(org) = world.org(rec.org) else { continue };
+            let Some(org) = world.org(rec.org) else {
+                continue;
+            };
             let truth = org.truth();
             if truth.layer2s().contains(&known::isp()) || org.category == known::ixp() {
                 continue; // already placed
@@ -136,7 +138,11 @@ impl AsGraph {
         }
         // Tier-2: 2–3 tier-1 providers, a few lateral peers.
         for &a in &tier2 {
-            for p in pick(&tier1, rng.random_range(2..=3.min(tier1.len().max(1))), &mut rng) {
+            for p in pick(
+                &tier1,
+                rng.random_range(2..=3.min(tier1.len().max(1))),
+                &mut rng,
+            ) {
                 g.add_provider(p, a);
             }
             for p in pick(&tier2, 2, &mut rng) {

@@ -67,14 +67,10 @@ impl World {
             // Springfield").
             if !used_names.insert(org.legal_name.normalized()) {
                 let was_legal = org.whois_name == org.legal_name;
-                let mut renamed = OrgName::new(&format!(
-                    "{} {}",
-                    org.legal_name.as_str(),
-                    org.city
-                ));
+                let mut renamed =
+                    OrgName::new(&format!("{} {}", org.legal_name.as_str(), org.city));
                 if !used_names.insert(renamed.normalized()) {
-                    renamed =
-                        OrgName::new(&format!("{} {}", org.legal_name.as_str(), i));
+                    renamed = OrgName::new(&format!("{} {}", org.legal_name.as_str(), i));
                     used_names.insert(renamed.normalized());
                 }
                 org.legal_name = renamed.clone();
@@ -122,16 +118,8 @@ impl World {
             orgs.push(org);
         }
 
-        let asn_index = ases
-            .iter()
-            .enumerate()
-            .map(|(i, a)| (a.asn, i))
-            .collect();
-        let org_index = orgs
-            .iter()
-            .enumerate()
-            .map(|(i, o)| (o.id, i))
-            .collect();
+        let asn_index = ases.iter().enumerate().map(|(i, a)| (a.asn, i)).collect();
+        let org_index = orgs.iter().enumerate().map(|(i, o)| (o.id, i)).collect();
         let mut domain_as_count: HashMap<Domain, usize> = HashMap::new();
         for a in &ases {
             for d in a.parsed.candidate_domains() {
@@ -263,26 +251,24 @@ fn build_org(
             .copied()
     } else if rng.random_bool(0.05) {
         // Cross-L1 nuance: an org that genuinely straddles sectors.
-        let alt = match category.layer1 {
+        match category.layer1 {
             Layer1::Education => Layer2::new(Layer1::Media, 1),
             Layer1::Media => Layer2::new(Layer1::ComputerAndIT, 9),
             Layer1::Finance => Layer2::new(Layer1::ComputerAndIT, 4),
             _ => None,
-        };
-        alt
+        }
     } else {
         None
     };
 
     // Domain presence: hosting providers are the most likely to lack one
     // ("17% of all hosting providers do not have domains").
-    let domainless_rate = if category
-        == Layer2::new(Layer1::ComputerAndIT, 2).expect("hosting index valid")
-    {
-        0.17
-    } else {
-        0.08
-    };
+    let domainless_rate =
+        if category == Layer2::new(Layer1::ComputerAndIT, 2).expect("hosting index valid") {
+            0.17
+        } else {
+            0.08
+        };
     let domain = (!rng.random_bool(domainless_rate)).then(|| identity.domain.clone());
     let live_site = domain.is_some() && rng.random_bool(config.web.live_site_rate);
 
@@ -384,14 +370,13 @@ fn build_as_record(
     let has_signal = rng.random_bool(config.whois.domain_signal_rate);
     if has_signal {
         // Possibly point at the *wrong* org's domain (entity disagreement).
-        let contact_domain: Option<Domain> = if rng.random_bool(config.wrong_domain_rate)
-            && !prior_orgs.is_empty()
-        {
-            let other = &prior_orgs[rng.random_range(0..prior_orgs.len())];
-            other.domain.clone()
-        } else {
-            org.domain.clone()
-        };
+        let contact_domain: Option<Domain> =
+            if rng.random_bool(config.wrong_domain_rate) && !prior_orgs.is_empty() {
+                let other = &prior_orgs[rng.random_range(0..prior_orgs.len())];
+                other.domain.clone()
+            } else {
+                org.domain.clone()
+            };
         if let Some(d) = contact_domain {
             if let Ok(e) = Email::new(&format!("abuse@{d}")) {
                 reg.abuse_emails.push(e);
@@ -400,7 +385,8 @@ fn build_as_record(
                 reg.tech_emails.push(e);
             }
             if rng.random_bool(config.whois.remark_url_rate) {
-                reg.remark_urls.push(Url::root(Domain::new(&format!("www.{d}")).unwrap_or(d)));
+                reg.remark_urls
+                    .push(Url::root(Domain::new(&format!("www.{d}")).unwrap_or(d)));
             }
         }
         // Upstream-provider contacts: many ASes list their transit
@@ -511,11 +497,31 @@ mod tests {
     fn whois_field_rates_close_to_paper() {
         let w = World::generate(WorldConfig::standard(WorldSeed::new(9)));
         let n = w.ases.len() as f64;
-        let with_org = w.ases.iter().filter(|a| a.registration.org_name.is_some()).count() as f64;
-        let with_addr = w.ases.iter().filter(|a| a.registration.address.is_some()).count() as f64;
-        let with_signal = w.ases.iter().filter(|a| a.parsed.has_domain_signal()).count() as f64;
-        assert!((with_org / n - 0.80).abs() < 0.03, "org rate {}", with_org / n);
-        assert!((with_addr / n - 0.617).abs() < 0.04, "addr rate {}", with_addr / n);
+        let with_org = w
+            .ases
+            .iter()
+            .filter(|a| a.registration.org_name.is_some())
+            .count() as f64;
+        let with_addr = w
+            .ases
+            .iter()
+            .filter(|a| a.registration.address.is_some())
+            .count() as f64;
+        let with_signal = w
+            .ases
+            .iter()
+            .filter(|a| a.parsed.has_domain_signal())
+            .count() as f64;
+        assert!(
+            (with_org / n - 0.80).abs() < 0.03,
+            "org rate {}",
+            with_org / n
+        );
+        assert!(
+            (with_addr / n - 0.617).abs() < 0.04,
+            "addr rate {}",
+            with_addr / n
+        );
         // LACNIC drops all contacts, so the parsed signal rate is slightly
         // below the raw 87.1% registration rate.
         assert!(
@@ -546,7 +552,10 @@ mod tests {
                 any_high = true;
             }
         }
-        assert!(any_high, "at least one shared domain must exceed the 100-AS threshold");
+        assert!(
+            any_high,
+            "at least one shared domain must exceed the 100-AS threshold"
+        );
         // Ordinary org domains stay far below it.
         let sample_org = w.orgs.iter().find(|o| o.domain.is_some()).unwrap();
         assert!(w.domain_as_count(sample_org.domain.as_ref().unwrap()) < 100);

@@ -48,7 +48,10 @@ fn main() {
     let mut rows: Vec<_> = stages.into_iter().collect();
     rows.sort();
     for (stage, n) in rows {
-        println!("  {stage:<35} {n:>6} ({:.1}%)", 100.0 * n as f64 / results.len() as f64);
+        println!(
+            "  {stage:<35} {n:>6} ({:.1}%)",
+            100.0 * n as f64 / results.len() as f64
+        );
     }
     println!(
         "\nCoverage: {:.1}%   Layer-1 accuracy (vs ground truth): {:.1}%",

@@ -49,7 +49,10 @@ fn main() {
         .collect();
     rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("rates are finite"));
 
-    println!("{:<50} {:>10} {:>8}", "Industry (per ASdb)", "Telnet", "ASes");
+    println!(
+        "{:<50} {:>10} {:>8}",
+        "Industry (per ASdb)", "Telnet", "ASes"
+    );
     println!("{}", "-".repeat(72));
     for (l1, rate, n) in &rows {
         println!("{:<50} {:>9.1}% {:>8}", l1.title(), rate * 100.0, n);

@@ -30,9 +30,12 @@ fn main() {
     }
 
     // Bulk dump round trip.
-    let sample: Vec<_> = world.ases.iter().take(200).map(|r| {
-        asdb_rir::dialect::serialize(r.rir, &r.registration)
-    }).collect();
+    let sample: Vec<_> = world
+        .ases
+        .iter()
+        .take(200)
+        .map(|r| asdb_rir::dialect::serialize(r.rir, &r.registration))
+        .collect();
     let dump = write_dump(&sample);
     let back = read_dump(&dump);
     println!(
@@ -47,12 +50,18 @@ fn main() {
     for rec in back.iter().take(5) {
         let parsed = extract(rec);
         println!("{} @ {}", parsed.asn, parsed.rir);
-        println!("  name      : {} (from {:?})", parsed.name, parsed.name_source);
+        println!(
+            "  name      : {} (from {:?})",
+            parsed.name, parsed.name_source
+        );
         println!("  address   : {}", parsed.address.as_deref().unwrap_or("-"));
         println!("  phone     : {}", parsed.phone.as_deref().unwrap_or("-"));
         println!(
             "  country   : {}",
-            parsed.country.map(|c| c.to_string()).unwrap_or_else(|| "-".into())
+            parsed
+                .country
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "-".into())
         );
         println!(
             "  domains   : {}",
@@ -69,10 +78,26 @@ fn main() {
     // Field-availability census vs the paper's §3.1 numbers.
     let n = world.ases.len() as f64;
     let pct = |count: usize| format!("{:.1}%", 100.0 * count as f64 / n);
-    let names = world.ases.iter().filter(|r| r.registration.org_name.is_some()).count();
-    let addrs = world.ases.iter().filter(|r| r.registration.address.is_some()).count();
-    let phones = world.ases.iter().filter(|r| r.registration.phone.is_some()).count();
-    let domains = world.ases.iter().filter(|r| r.parsed.has_domain_signal()).count();
+    let names = world
+        .ases
+        .iter()
+        .filter(|r| r.registration.org_name.is_some())
+        .count();
+    let addrs = world
+        .ases
+        .iter()
+        .filter(|r| r.registration.address.is_some())
+        .count();
+    let phones = world
+        .ases
+        .iter()
+        .filter(|r| r.registration.phone.is_some())
+        .count();
+    let domains = world
+        .ases
+        .iter()
+        .filter(|r| r.parsed.has_domain_signal())
+        .count();
     println!("=== Field availability (paper: 80.19% org name, 61.7% address, 45% phone, 87.1% domain) ===");
     println!("  org name      : {}", pct(names));
     println!("  address       : {}", pct(addrs));

@@ -1,0 +1,105 @@
+//! Observability-layer integration: stage counters reconcile with work
+//! done, telemetry does not perturb classification across thread counts,
+//! and the JSON metrics snapshot round-trips through serde.
+
+use asdb_core::batch::{classify_batch, classify_batch_cached};
+use asdb_core::{AsdbSystem, Stage};
+use asdb_model::WorldSeed;
+use asdb_obs::RegistrySnapshot;
+use asdb_worldgen::{World, WorldConfig};
+
+fn build() -> (World, AsdbSystem) {
+    let w = World::generate(WorldConfig::small(WorldSeed::new(31)));
+    let s = AsdbSystem::build(&w, WorldSeed::new(32));
+    (w, s)
+}
+
+#[test]
+fn stage_counters_sum_to_batch_size() {
+    let (w, s) = build();
+    let records: Vec<_> = w.ases.iter().take(80).map(|r| r.parsed.clone()).collect();
+    assert_eq!(s.metrics().stage_total(), 0);
+    let out = classify_batch(&s, &records, 4);
+    assert_eq!(out.len(), 80);
+    assert_eq!(s.metrics().stage_total(), 80);
+    // Per-stage counts match the stages the batch actually returned.
+    for (stage, n) in s.metrics().stage_counts() {
+        let observed = out.iter().filter(|c| c.stage == stage).count() as u64;
+        assert_eq!(n, observed, "stage {stage:?}");
+    }
+    // Cached runs on top: every record still lands in exactly one stage,
+    // and a repeat pass over the same records is served from the cache.
+    let out2 = classify_batch_cached(&s, &records, 4);
+    assert_eq!(out2.len(), 80);
+    assert_eq!(s.metrics().stage_total(), 160);
+    let out3 = classify_batch_cached(&s, &records, 4);
+    assert_eq!(out3.len(), 80);
+    assert_eq!(s.metrics().stage_total(), 240);
+    assert!(
+        s.metrics().stage_count(Stage::Cached) > 0,
+        "repeat pass over the same records should reuse the org cache"
+    );
+    assert!(s.cache().hit_rate() > 0.0);
+    assert!(!s.cache().is_empty());
+}
+
+#[test]
+fn thread_count_changes_neither_results_nor_counters() {
+    let (w, s) = build();
+    let records: Vec<_> = w.ases.iter().take(60).map(|r| r.parsed.clone()).collect();
+
+    let mut runs = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let before = s.metrics().stage_counts();
+        let out = classify_batch(&s, &records, threads);
+        let after = s.metrics().stage_counts();
+        let delta: Vec<u64> = after
+            .iter()
+            .zip(before.iter())
+            .map(|((_, a), (_, b))| a - b)
+            .collect();
+        runs.push((threads, out, delta));
+    }
+
+    let (_, base_out, base_delta) = &runs[0];
+    for (threads, out, delta) in &runs[1..] {
+        assert_eq!(
+            delta, base_delta,
+            "stage counter deltas at {threads} threads"
+        );
+        assert_eq!(out.len(), base_out.len());
+        for (a, b) in base_out.iter().zip(out) {
+            assert_eq!(a.asn, b.asn, "{threads} threads");
+            assert_eq!(a.categories, b.categories, "{} at {threads} threads", a.asn);
+            assert_eq!(a.stage, b.stage, "{} at {threads} threads", a.asn);
+        }
+    }
+}
+
+#[test]
+fn metrics_snapshot_roundtrips_through_serde() {
+    let (w, s) = build();
+    let records: Vec<_> = w.ases.iter().take(40).map(|r| r.parsed.clone()).collect();
+    let _ = classify_batch_cached(&s, &records, 2);
+
+    let snap = s.metrics_snapshot();
+    let json = s.metrics_json();
+    let back = RegistrySnapshot::from_json(&json).expect("snapshot parses back");
+    assert_eq!(snap, back);
+
+    // The snapshot carries the live numbers, not zeros.
+    assert_eq!(back.counter("batch.records"), 40);
+    assert!(back.counter("source.dnb.queries") > 0);
+    assert!(back.histograms.contains_key("pipeline.classify"));
+    assert_eq!(
+        back.counter("cache.inserts"),
+        s.cache().inserts(),
+        "registry cache counters are the OrgCache's own"
+    );
+
+    // And the cache's standalone snapshot round-trips too.
+    let cs = s.cache().snapshot();
+    let cs_back: asdb_core::cache::CacheSnapshot =
+        serde_json::from_str(&serde_json::to_string(&cs).unwrap()).unwrap();
+    assert_eq!(cs, cs_back);
+}

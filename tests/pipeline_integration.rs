@@ -31,8 +31,7 @@ fn whois_pipeline_roundtrips_through_text() {
     let reread = read_dump(&dump_text);
     assert_eq!(reread.len(), sample.len());
 
-    let mut by_asn: std::collections::HashMap<_, _> =
-        sample.iter().map(|r| (r.asn, *r)).collect();
+    let mut by_asn: std::collections::HashMap<_, _> = sample.iter().map(|r| (r.asn, *r)).collect();
     for record in &reread {
         let original = by_asn.remove(&record.asn).expect("asn present once");
         let reparsed = extract(record);
@@ -107,7 +106,13 @@ fn foreign_language_sites_still_classify() {
 #[test]
 fn lacnic_records_have_no_domain_and_rely_on_sources() {
     let c = ctx();
-    for rec in c.world.ases.iter().filter(|r| r.rir == Rir::Lacnic).take(20) {
+    for rec in c
+        .world
+        .ases
+        .iter()
+        .filter(|r| r.rir == Rir::Lacnic)
+        .take(20)
+    {
         assert!(rec.parsed.candidate_domains().is_empty());
         // The pipeline still runs (may fall back to ASN-indexed sources or
         // name search).
@@ -155,5 +160,8 @@ fn entity_disagreement_rejection_is_active() {
             verified += 1;
         }
     }
-    assert!(verified > 100, "domain selection worked for {verified} ASes");
+    assert!(
+        verified > 100,
+        "domain selection worked for {verified} ASes"
+    );
 }
