@@ -3,13 +3,15 @@
 //! parallelism a production deployment relies on.
 
 use asdb_bench::bench_context;
-use asdb_core::batch::classify_batch;
+use asdb_core::batch::{classify_batch, classify_batch_cached_with, BatchConfig};
+use asdb_core::AsdbSystem;
 use asdb_entity::name_similarity;
 use asdb_rir::dump::{read_dump, write_dump};
 use asdb_rir::extract;
 use asdb_websim::scraper::{scrape, ScrapeConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
+use std::time::Instant;
 
 fn bench_throughput(c: &mut Criterion) {
     let ctx = bench_context();
@@ -140,7 +142,153 @@ fn bench_throughput(c: &mut Criterion) {
     });
     ctx.system.metrics().set_enabled(true);
 
+    // Cached-batch thread scaling: the sharded single-flight cache with
+    // work-stealing chunks against the legacy layout (one shard, static
+    // contiguous split — reproduced exactly via chunk_size =
+    // len.div_ceil(threads) on a 1-shard system). Each iteration clears
+    // the cache so every run exercises the cold miss/coalesce path; the
+    // clear is identical across arms so the comparison stays fair.
+    let legacy =
+        AsdbSystem::build(&ctx.world, ctx.seed.derive("bench-legacy")).with_cache_shards(1);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("cached_batch_64_sharded", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    ctx.system.cache().clear();
+                    black_box(classify_batch_cached_with(
+                        &ctx.system,
+                        &records,
+                        BatchConfig::with_threads(t),
+                    ))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cached_batch_64_legacy_1shard_static", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    legacy.cache().clear();
+                    black_box(classify_batch_cached_with(
+                        &legacy,
+                        &records,
+                        BatchConfig::with_threads(t).chunk_size(records.len().div_ceil(t)),
+                    ))
+                })
+            },
+        );
+    }
+
+    // Duplicate-heavy coalescing workload: every record 4×, so most
+    // lookups land on an organization that is either cached or in
+    // flight. This is the §5.1 multi-AS-organization shape that the
+    // single-flight slot exists for.
+    let dup_records: Vec<_> = records
+        .iter()
+        .flat_map(|r| std::iter::repeat(r.clone()).take(4))
+        .collect();
+    group.throughput(Throughput::Elements(dup_records.len() as u64));
+    group.bench_function("cached_batch_256_dup4_coalescing", |b| {
+        b.iter(|| {
+            ctx.system.cache().clear();
+            black_box(classify_batch_cached_with(
+                &ctx.system,
+                &dup_records,
+                BatchConfig::with_threads(8).chunk_size(1),
+            ))
+        })
+    });
+
     group.finish();
+
+    write_throughput_json(&ctx.system, &legacy, &records, &dup_records);
+}
+
+/// Median wall time of `runs` executions of `f`, in nanoseconds.
+fn median_ns(runs: usize, mut f: impl FnMut()) -> u128 {
+    let mut samples: Vec<u128> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Machine-readable summary of the scheduler/cache comparison, written to
+/// the workspace root so CI and the perf snapshots in `perf/` can diff
+/// runs without scraping Criterion's HTML.
+fn write_throughput_json(
+    sharded: &AsdbSystem,
+    legacy: &AsdbSystem,
+    records: &[asdb_rir::ParsedWhois],
+    dup_records: &[asdb_rir::ParsedWhois],
+) {
+    const RUNS: usize = 7;
+    let mut arms = Vec::new();
+    for &t in &[1usize, 2, 4, 8] {
+        let ns = median_ns(RUNS, || {
+            sharded.cache().clear();
+            black_box(classify_batch_cached_with(
+                sharded,
+                records,
+                BatchConfig::with_threads(t),
+            ));
+        });
+        arms.push(format!(
+            "    {{\"name\": \"cached_batch_64_sharded\", \"threads\": {t}, \"median_ns\": {ns}}}"
+        ));
+        let ns = median_ns(RUNS, || {
+            legacy.cache().clear();
+            black_box(classify_batch_cached_with(
+                legacy,
+                records,
+                BatchConfig::with_threads(t).chunk_size(records.len().div_ceil(t)),
+            ));
+        });
+        arms.push(format!(
+            "    {{\"name\": \"cached_batch_64_legacy_1shard_static\", \"threads\": {t}, \"median_ns\": {ns}}}"
+        ));
+    }
+    let ns = median_ns(RUNS, || {
+        sharded.cache().clear();
+        black_box(classify_batch_cached_with(
+            sharded,
+            dup_records,
+            BatchConfig::with_threads(8).chunk_size(1),
+        ));
+    });
+    arms.push(format!(
+        "    {{\"name\": \"cached_batch_256_dup4_coalescing\", \"threads\": 8, \"median_ns\": {ns}}}"
+    ));
+
+    // One instrumented run for the coalescing accounting.
+    sharded.cache().clear();
+    let before_inserts = sharded.cache().inserts();
+    let before_coalesced = sharded.cache().coalesced();
+    let _ = classify_batch_cached_with(
+        sharded,
+        dup_records,
+        BatchConfig::with_threads(8).chunk_size(1),
+    );
+    let inserts = sharded.cache().inserts() - before_inserts;
+    let coalesced = sharded.cache().coalesced() - before_coalesced;
+
+    let json = format!(
+        "{{\n  \"bench\": \"throughput/cached_batch\",\n  \"records\": {}, \"dup_records\": {},\n  \"shards_default\": {}, \"runs_per_arm\": {RUNS},\n  \"dup_run_inserts\": {inserts}, \"dup_run_coalesced\": {coalesced},\n  \"arms\": [\n{}\n  ]\n}}\n",
+        records.len(),
+        dup_records.len(),
+        sharded.cache().shard_count(),
+        arms.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("could not write {path}: {e}");
+    }
 }
 
 criterion_group! {

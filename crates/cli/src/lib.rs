@@ -8,7 +8,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use asdb_core::batch::classify_batch_cached;
+use asdb_core::batch::{classify_batch_cached_with, BatchConfig};
 use asdb_core::{dataset, AsdbSystem};
 use asdb_model::{Asn, WorldSeed};
 use asdb_worldgen::{World, WorldConfig};
@@ -57,6 +57,11 @@ pub enum Command {
         out: Option<String>,
         /// Worker threads.
         threads: usize,
+        /// Scheduler chunk size (None = automatic, ~4 chunks per worker).
+        chunk_size: Option<usize>,
+        /// Org-cache shard count (None = `next_power_of_two(4 × cores)`;
+        /// 1 = legacy single-lock behavior).
+        shards: Option<usize>,
         /// Optional path to dump the telemetry snapshot (JSON).
         metrics_out: Option<String>,
     },
@@ -80,6 +85,13 @@ pub enum Command {
         seed: u64,
         /// Worker threads.
         threads: usize,
+        /// Scheduler chunk size (None = automatic).
+        chunk_size: Option<usize>,
+        /// Org-cache shard count (None = default).
+        shards: Option<usize>,
+        /// Classify each AS this many times (duplicate-heavy workload that
+        /// exercises cache reuse and single-flight coalescing).
+        dup: usize,
         /// Optional path to dump the telemetry snapshot (JSON).
         metrics_out: Option<String>,
     },
@@ -112,20 +124,28 @@ asdb — reproduction of 'ASdb: A System for Classifying Owners of Autonomous Sy
 
 USAGE:
   asdb generate [--scale small|standard] [--seed N] [--whois-out FILE]
-  asdb classify [--scale small|standard] [--seed N] [--asn N]... [--out FILE] [--threads N] [--metrics FILE]
+  asdb classify [--scale small|standard] [--seed N] [--asn N]... [--out FILE] [--threads N]
+                [--chunk-size N] [--shards N] [--metrics FILE]
   asdb lookup   --asn N [--scale small|standard] [--seed N] [--metrics FILE]
-  asdb metrics  [--scale small|standard] [--seed N] [--threads N] [--metrics FILE]
+  asdb metrics  [--scale small|standard] [--seed N] [--threads N] [--chunk-size N]
+                [--shards N] [--dup N] [--metrics FILE]
   asdb report   [--scale small|standard] [--seed N]
   asdb help
 
-Defaults: --scale small, --seed = the canonical experiment seed, --threads 4.
+Defaults: --scale small, --seed = the canonical experiment seed, --threads 4,
+--chunk-size automatic (~4 chunks per worker), --shards next_power_of_two(4 x cores).
 
 The metrics subcommand classifies every AS in the world (with the
 organization cache) and prints the pipeline telemetry report: per-stage
 counters (Table 8's rows), per-source query/match/reject counts, domain-
-selection outcomes, ML fire/override counts, cache hit rate, and latency
-histograms. On classify-style commands, --metrics FILE writes the same
-data as a JSON registry snapshot after the run.
+selection outcomes, ML fire/override counts, cache hit/coalesce rates,
+scheduler chunk/steal counts, and latency histograms. --dup N classifies
+each AS N times (a duplicate-heavy workload that exercises cache reuse and
+single-flight miss coalescing); --shards 1 reproduces the legacy
+single-lock cache and --chunk-size ceil(records/threads) the legacy static
+split, for before/after comparisons. On classify-style commands,
+--metrics FILE writes the same data as a JSON registry snapshot after the
+run.
 ";
 
 impl Command {
@@ -141,6 +161,9 @@ impl Command {
         let mut metrics_out: Option<String> = None;
         let mut asns: Vec<Asn> = Vec::new();
         let mut threads = 4usize;
+        let mut chunk_size: Option<usize> = None;
+        let mut shards: Option<usize> = None;
+        let mut dup = 1usize;
 
         let mut i = 0;
         let value = |i: &mut usize, flag: &str| -> Result<String, CliError> {
@@ -184,6 +207,27 @@ impl Command {
                         .map_err(|_| CliError(format!("invalid thread count {v:?}")))?
                         .max(1);
                 }
+                "--chunk-size" => {
+                    let v = value(&mut i, "--chunk-size")?;
+                    let n = v
+                        .parse::<usize>()
+                        .map_err(|_| CliError(format!("invalid chunk size {v:?}")))?;
+                    chunk_size = (n > 0).then_some(n);
+                }
+                "--shards" => {
+                    let v = value(&mut i, "--shards")?;
+                    let n = v
+                        .parse::<usize>()
+                        .map_err(|_| CliError(format!("invalid shard count {v:?}")))?;
+                    shards = Some(n.max(1));
+                }
+                "--dup" => {
+                    let v = value(&mut i, "--dup")?;
+                    dup = v
+                        .parse::<usize>()
+                        .map_err(|_| CliError(format!("invalid dup factor {v:?}")))?
+                        .max(1);
+                }
                 other => return Err(CliError(format!("unknown flag {other:?}"))),
             }
             i += 1;
@@ -201,6 +245,8 @@ impl Command {
                 asns,
                 out,
                 threads,
+                chunk_size,
+                shards,
                 metrics_out,
             }),
             "lookup" => {
@@ -218,6 +264,9 @@ impl Command {
                 scale,
                 seed,
                 threads,
+                chunk_size,
+                shards,
+                dup,
                 metrics_out,
             }),
             "report" => Ok(Command::Report { scale, seed }),
@@ -277,11 +326,16 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> {
             asns,
             out: out_path,
             threads,
+            chunk_size,
+            shards,
             metrics_out,
         } => {
             let seed = WorldSeed::new(seed);
             let world = World::generate(scale.config(seed));
-            let system = AsdbSystem::build(&world, seed.derive("cli"));
+            let mut system = AsdbSystem::build(&world, seed.derive("cli"));
+            if let Some(n) = shards {
+                system = system.with_cache_shards(n);
+            }
             let records: Vec<_> = if asns.is_empty() {
                 world.ases.iter().map(|r| r.parsed.clone()).collect()
             } else {
@@ -297,7 +351,11 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> {
                 }
                 rs
             };
-            let results = classify_batch_cached(&system, &records, threads);
+            let config = BatchConfig {
+                n_threads: threads,
+                chunk_size,
+            };
+            let results = classify_batch_cached_with(&system, &records, config);
             let classified = results.iter().filter(|c| c.is_classified()).count();
             writeln!(
                 out,
@@ -386,13 +444,27 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> {
             scale,
             seed,
             threads,
+            chunk_size,
+            shards,
+            dup,
             metrics_out,
         } => {
             let seed = WorldSeed::new(seed);
             let world = World::generate(scale.config(seed));
-            let system = AsdbSystem::build(&world, seed.derive("cli"));
-            let records: Vec<_> = world.ases.iter().map(|r| r.parsed.clone()).collect();
-            let results = classify_batch_cached(&system, &records, threads);
+            let mut system = AsdbSystem::build(&world, seed.derive("cli"));
+            if let Some(n) = shards {
+                system = system.with_cache_shards(n);
+            }
+            let records: Vec<_> = world
+                .ases
+                .iter()
+                .flat_map(|r| std::iter::repeat(r.parsed.clone()).take(dup))
+                .collect();
+            let config = BatchConfig {
+                n_threads: threads,
+                chunk_size,
+            };
+            let results = classify_batch_cached_with(&system, &records, config);
             writeln!(
                 out,
                 "classified {} ASes across {} threads\n",
@@ -453,6 +525,10 @@ mod tests {
             "/tmp/x.jsonl",
             "--threads",
             "8",
+            "--chunk-size",
+            "16",
+            "--shards",
+            "4",
             "--metrics",
             "/tmp/m.json",
         ])
@@ -464,6 +540,8 @@ mod tests {
                 asns,
                 out,
                 threads,
+                chunk_size,
+                shards,
                 metrics_out,
             } => {
                 assert_eq!(scale, Scale::Standard);
@@ -471,6 +549,8 @@ mod tests {
                 assert_eq!(asns, vec![Asn::new(1000), Asn::new(2000)]);
                 assert_eq!(out.as_deref(), Some("/tmp/x.jsonl"));
                 assert_eq!(threads, 8);
+                assert_eq!(chunk_size, Some(16));
+                assert_eq!(shards, Some(4));
                 assert_eq!(metrics_out.as_deref(), Some("/tmp/m.json"));
             }
             other => panic!("parsed {other:?}"),
@@ -479,21 +559,53 @@ mod tests {
 
     #[test]
     fn parses_metrics_command() {
-        let c = parse(&["metrics", "--threads", "2", "--metrics", "/tmp/m.json"]).unwrap();
+        let c = parse(&[
+            "metrics",
+            "--threads",
+            "2",
+            "--dup",
+            "3",
+            "--metrics",
+            "/tmp/m.json",
+        ])
+        .unwrap();
         match c {
             Command::Metrics {
                 scale,
                 threads,
+                chunk_size,
+                shards,
+                dup,
                 metrics_out,
                 ..
             } => {
                 assert_eq!(scale, Scale::Small);
                 assert_eq!(threads, 2);
+                assert_eq!(chunk_size, None);
+                assert_eq!(shards, None);
+                assert_eq!(dup, 3);
                 assert_eq!(metrics_out.as_deref(), Some("/tmp/m.json"));
             }
             other => panic!("parsed {other:?}"),
         }
         assert!(parse(&["metrics", "--metrics"]).is_err());
+    }
+
+    #[test]
+    fn scheduler_flag_defaults_and_validation() {
+        // 0 chunk size means automatic; shard counts are clamped to ≥ 1.
+        match parse(&["classify", "--chunk-size", "0", "--shards", "0"]).unwrap() {
+            Command::Classify {
+                chunk_size, shards, ..
+            } => {
+                assert_eq!(chunk_size, None);
+                assert_eq!(shards, Some(1));
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(parse(&["classify", "--chunk-size", "x"]).is_err());
+        assert!(parse(&["classify", "--shards"]).is_err());
+        assert!(parse(&["metrics", "--dup", "nope"]).is_err());
     }
 
     #[test]
@@ -504,6 +616,9 @@ mod tests {
                 scale: Scale::Small,
                 seed: 9,
                 threads: 2,
+                chunk_size: None,
+                shards: None,
+                dup: 1,
                 metrics_out: None,
             },
             &mut buf,
@@ -513,6 +628,8 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("pipeline stages"), "{text}");
         assert!(text.contains("org cache"), "{text}");
+        assert!(text.contains("coalesced"), "{text}");
+        assert!(text.contains("steals"), "{text}");
         // "classified N ASes" must equal the stage-counter total printed
         // on the report's total row.
         let n: u64 = text

@@ -1,73 +1,186 @@
 //! Parallel batch classification.
 //!
 //! Classifying the full AS population is embarrassingly parallel: the
-//! pipeline is read-only apart from the lock-protected cache. Batches are
-//! spread over scoped crossbeam threads ("Our model uses 6 CPU cores…").
+//! pipeline is read-only apart from the sharded organization cache.
+//! Batches are spread over scoped crossbeam threads ("Our model uses 6
+//! CPU cores…") by a **work-stealing chunk scheduler**: the input is cut
+//! into fixed-size chunks and workers claim them off a shared atomic
+//! cursor, so cheap cached records never leave stragglers pinned behind
+//! expensive scrape-heavy ones the way static contiguous chunking does.
+//! Output order is preserved by reassembling chunks at their original
+//! offsets.
 //!
 //! [`classify_batch`] is cache-free and therefore fully deterministic
-//! regardless of thread count; [`classify_batch_cached`] shares the
-//! system's organization cache, which is faster on multi-AS organizations
-//! but makes the *stage* (not the label quality) of later duplicates
-//! depend on scheduling.
+//! regardless of thread count or chunk size; [`classify_batch_cached`]
+//! shares the system's organization cache, which is faster on multi-AS
+//! organizations but makes the *stage* (not the label quality) of later
+//! duplicates depend on scheduling. Concurrent misses on the same
+//! organization are coalesced by the cache's single-flight slots, so the
+//! expensive pipeline body runs once per organization even inside one
+//! batch.
 //!
 //! Both record wall-clock and per-worker timing into the system's
-//! [`PipelineMetrics`](crate::metrics::PipelineMetrics) (`batch.*`), so
-//! thread-scaling efficiency is visible in the `asdb metrics` report.
-//! Worker panics are re-raised with their original payload.
+//! [`PipelineMetrics`](crate::metrics::PipelineMetrics) (`batch.*`,
+//! including chunk and steal counts), so thread-scaling efficiency is
+//! visible in the `asdb metrics` report. Worker panics are re-raised with
+//! their original payload.
 
 use crate::pipeline::{AsdbSystem, Classification};
 use asdb_rir::ParsedWhois;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Tuning knobs for a batch run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Worker threads (minimum 1; capped at the number of chunks).
+    pub n_threads: usize,
+    /// Records per scheduler chunk. `None` picks ~4 chunks per worker,
+    /// which keeps claim overhead negligible while still letting fast
+    /// workers steal from slow ones. `Some(len.div_ceil(n_threads))`
+    /// reproduces the legacy static contiguous split (one chunk per
+    /// worker, nothing to steal).
+    pub chunk_size: Option<usize>,
+}
+
+impl Default for BatchConfig {
+    fn default() -> BatchConfig {
+        BatchConfig {
+            n_threads: 4,
+            chunk_size: None,
+        }
+    }
+}
+
+impl BatchConfig {
+    /// `n` worker threads, automatic chunk size.
+    pub fn with_threads(n: usize) -> BatchConfig {
+        BatchConfig {
+            n_threads: n.max(1),
+            chunk_size: None,
+        }
+    }
+
+    /// Builder-style chunk-size override (0 is treated as automatic).
+    pub fn chunk_size(mut self, size: usize) -> BatchConfig {
+        self.chunk_size = (size > 0).then_some(size);
+        self
+    }
+
+    /// The chunk size actually used for a batch of `len` records.
+    pub fn effective_chunk_size(&self, len: usize) -> usize {
+        match self.chunk_size {
+            Some(c) => c.max(1),
+            None => len.div_ceil(4 * self.n_threads.max(1)).max(1),
+        }
+    }
+}
 
 fn run_batch(
     system: &AsdbSystem,
     records: &[ParsedWhois],
-    n_threads: usize,
+    config: BatchConfig,
     cached: bool,
 ) -> Vec<Classification> {
-    let n_threads = n_threads.max(1);
+    let n_threads = config.n_threads.max(1);
     if records.is_empty() {
         return Vec::new();
     }
     let wall = std::time::Instant::now();
-    let chunk = records.len().div_ceil(n_threads);
-    let n_workers = records.len().div_ceil(chunk);
-    let mut out: Vec<Option<Classification>> = vec![None; records.len()];
+    let chunk = config.effective_chunk_size(records.len());
+    let n_chunks = records.len().div_ceil(chunk);
+    let n_workers = n_threads.min(n_chunks);
+    let cursor = AtomicUsize::new(0);
+    // Each worker returns the chunks it produced tagged with their input
+    // offset; reassembly restores input order without any shared mutable
+    // output state.
+    let mut produced: Vec<(usize, Vec<Classification>)> = Vec::with_capacity(n_chunks);
+    let mut steals = 0u64;
     let result = crossbeam::thread::scope(|scope| {
-        let mut rest = &mut out[..];
-        let mut handles = Vec::new();
-        for batch in records.chunks(chunk) {
-            let (head, tail) = rest.split_at_mut(batch.len().min(rest.len()));
-            rest = tail;
+        let cursor = &cursor;
+        let mut handles = Vec::with_capacity(n_workers);
+        for _ in 0..n_workers {
             handles.push(scope.spawn(move |_| {
                 let worker_wall = std::time::Instant::now();
-                for (slot, rec) in head.iter_mut().zip(batch) {
-                    *slot = Some(if cached {
-                        system.classify_cached(rec)
-                    } else {
-                        system.classify(rec)
-                    });
+                let mut mine: Vec<(usize, Vec<Classification>)> = Vec::new();
+                let mut claimed = 0u64;
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n_chunks {
+                        break;
+                    }
+                    claimed += 1;
+                    let lo = i * chunk;
+                    let hi = (lo + chunk).min(records.len());
+                    let mut out = Vec::with_capacity(hi - lo);
+                    for rec in &records[lo..hi] {
+                        out.push(if cached {
+                            system.classify_cached(rec)
+                        } else {
+                            system.classify(rec)
+                        });
+                    }
+                    mine.push((lo, out));
                 }
                 system.metrics().record_batch_worker(worker_wall.elapsed());
+                (mine, claimed)
             }));
         }
         for h in handles {
             // Re-raise the worker's original panic payload so the real
             // failure message (assert text, index, …) reaches the caller
             // instead of a generic "worker thread panicked".
-            if let Err(payload) = h.join() {
-                std::panic::resume_unwind(payload);
+            match h.join() {
+                Ok((mine, claimed)) => {
+                    // A worker's first claim is its own share; every
+                    // further claim is a steal off the shared queue.
+                    steals += claimed.saturating_sub(1);
+                    produced.extend(mine);
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
             }
         }
     });
     if let Err(payload) = result {
         std::panic::resume_unwind(payload);
     }
+    let mut out: Vec<Option<Classification>> = Vec::new();
+    out.resize_with(records.len(), || None);
+    for (lo, chunk_out) in produced {
+        for (j, c) in chunk_out.into_iter().enumerate() {
+            out[lo + j] = Some(c);
+        }
+    }
     system
         .metrics()
         .record_batch_run(records.len(), n_workers, wall.elapsed());
+    system
+        .metrics()
+        .record_batch_chunks(n_chunks as u64, steals);
     out.into_iter()
         .map(|c| c.expect("every slot filled"))
         .collect()
+}
+
+/// Classify a batch without the cache, with explicit scheduler tuning —
+/// deterministic for any thread count and chunk size, input order
+/// preserved.
+pub fn classify_batch_with(
+    system: &AsdbSystem,
+    records: &[ParsedWhois],
+    config: BatchConfig,
+) -> Vec<Classification> {
+    run_batch(system, records, config, false)
+}
+
+/// Classify a batch with the shared organization cache and explicit
+/// scheduler tuning (production mode: multi-AS organizations are
+/// classified once, concurrent duplicates coalesce).
+pub fn classify_batch_cached_with(
+    system: &AsdbSystem,
+    records: &[ParsedWhois],
+    config: BatchConfig,
+) -> Vec<Classification> {
+    run_batch(system, records, config, true)
 }
 
 /// Classify a batch across `n_threads` threads without the cache —
@@ -77,7 +190,7 @@ pub fn classify_batch(
     records: &[ParsedWhois],
     n_threads: usize,
 ) -> Vec<Classification> {
-    run_batch(system, records, n_threads, false)
+    classify_batch_with(system, records, BatchConfig::with_threads(n_threads))
 }
 
 /// Classify a batch with the shared organization cache (production mode:
@@ -87,7 +200,7 @@ pub fn classify_batch_cached(
     records: &[ParsedWhois],
     n_threads: usize,
 ) -> Vec<Classification> {
-    run_batch(system, records, n_threads, true)
+    classify_batch_cached_with(system, records, BatchConfig::with_threads(n_threads))
 }
 
 #[cfg(test)]
@@ -108,6 +221,30 @@ mod tests {
             assert_eq!(a.asn, b.asn);
             assert_eq!(a.categories, b.categories, "labels diverge for {}", a.asn);
             assert_eq!(a.stage, b.stage);
+        }
+    }
+
+    #[test]
+    fn any_thread_and_chunk_config_matches_serial() {
+        let w = World::generate(WorldConfig::small(WorldSeed::new(3)));
+        let s = AsdbSystem::build(&w, WorldSeed::new(4));
+        let records: Vec<_> = w.ases.iter().take(50).map(|r| r.parsed.clone()).collect();
+        let serial: Vec<_> = records.iter().map(|r| s.classify(r)).collect();
+        for n_threads in [1usize, 2, 3, 8] {
+            for chunk_size in [1usize, 2, 7, 50, 1000] {
+                let cfg = BatchConfig::with_threads(n_threads).chunk_size(chunk_size);
+                let out = classify_batch_with(&s, &records, cfg);
+                assert_eq!(out.len(), serial.len());
+                for (a, b) in serial.iter().zip(&out) {
+                    assert_eq!(a.asn, b.asn, "order broke at {n_threads}t/{chunk_size}c");
+                    assert_eq!(
+                        a.categories, b.categories,
+                        "labels diverge for {} at {n_threads}t/{chunk_size}c",
+                        a.asn
+                    );
+                    assert_eq!(a.stage, b.stage);
+                }
+            }
         }
     }
 
@@ -133,10 +270,32 @@ mod tests {
         assert_eq!(snap.counter("batch.runs"), 1);
         assert_eq!(snap.counter("batch.records"), 24);
         assert_eq!(snap.counter("batch.workers"), 3);
+        // Auto chunking: ~4 chunks per worker.
+        assert_eq!(snap.counter("batch.chunks"), 12);
         assert_eq!(snap.histograms["batch.worker_wall"].count, 3);
         assert_eq!(snap.histograms["batch.wall"].count, 1);
         // Stage counters reconcile with the number of records processed.
         assert_eq!(s.metrics().stage_total(), 24);
+    }
+
+    #[test]
+    fn single_chunk_records_no_steals() {
+        let w = World::generate(WorldConfig::small(WorldSeed::new(13)));
+        let s = AsdbSystem::build(&w, WorldSeed::new(14));
+        let records: Vec<_> = w.ases.iter().take(24).map(|r| r.parsed.clone()).collect();
+        // The whole batch as one chunk: exactly one worker runs (worker
+        // count is capped at the chunk count) and a worker's first claim
+        // is never a steal. This is the only scheduler configuration
+        // where zero steals is guaranteed rather than merely likely —
+        // with one-chunk-per-worker splits, a fast worker can still grab
+        // a chunk before its "owner" thread is scheduled.
+        let cfg = BatchConfig::with_threads(4).chunk_size(records.len());
+        let out = classify_batch_with(&s, &records, cfg);
+        assert_eq!(out.len(), 24);
+        let snap = s.metrics_snapshot();
+        assert_eq!(snap.counter("batch.chunks"), 1);
+        assert_eq!(snap.counter("batch.workers"), 1);
+        assert_eq!(snap.counter("batch.steals"), 0);
     }
 
     #[test]
@@ -153,5 +312,17 @@ mod tests {
         let records: Vec<_> = w.ases.iter().take(3).map(|r| r.parsed.clone()).collect();
         let out = classify_batch(&s, &records, 16);
         assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn chunk_size_defaults_and_overrides() {
+        let auto = BatchConfig::with_threads(4);
+        assert_eq!(auto.effective_chunk_size(64), 4); // 16 chunks
+        assert_eq!(auto.effective_chunk_size(1), 1);
+        let explicit = BatchConfig::with_threads(4).chunk_size(10);
+        assert_eq!(explicit.effective_chunk_size(64), 10);
+        // 0 means automatic.
+        let zero = BatchConfig::with_threads(2).chunk_size(0);
+        assert_eq!(zero.chunk_size, None);
     }
 }

@@ -5,13 +5,28 @@
 //! previously classified), and, if so, ASdb returns the cached data"
 //! (§5.1). Organizations are identified without ground truth: by their
 //! selected domain when one exists, otherwise by the normalized WHOIS name.
+//!
+//! ## Concurrency
+//!
+//! The map is split into `N` power-of-two shards (default
+//! `next_power_of_two(4 × cores)`), each behind its own `RwLock`, so
+//! parallel batch workers touching different organizations never contend
+//! on one global lock. On top of the shards sits a **single-flight**
+//! protocol: the first worker to miss on an [`OrgKey`] installs an
+//! in-flight slot and runs the full pipeline; any other worker missing on
+//! the same key while that computation is running blocks on the slot and
+//! reuses the leader's result instead of redoing the scrape+ML work
+//! (counted as `cache.coalesced`). A leader that panics abandons its slot
+//! and waiters recover by re-running the lookup.
 
 use asdb_model::{Domain, OrgName};
 use asdb_obs::Counter;
 use asdb_taxonomy::CategorySet;
-use parking_lot::RwLock;
+use parking_lot::{Condvar, Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 /// The cache key: how ASdb recognizes "the same organization" across ASes.
@@ -52,52 +67,244 @@ pub struct CacheSnapshot {
     pub entries: u64,
     /// Lookups that found an entry.
     pub hits: u64,
-    /// Lookups that found nothing.
+    /// Lookups that found nothing (single-flight leaders included).
     pub misses: u64,
     /// Results stored.
     pub inserts: u64,
-    /// `hits / (hits + misses)`, 0 when no lookups happened.
+    /// Lookups that joined an in-flight computation instead of redoing it.
+    #[serde(default)]
+    pub coalesced: u64,
+    /// `(hits + coalesced) / (hits + coalesced + misses)`, 0 when no
+    /// lookups happened.
     pub hit_rate: f64,
+    /// Number of shards the map is split into.
+    #[serde(default)]
+    pub shards: u64,
+    /// Per-shard occupancy (ready entries only), `shards` long.
+    #[serde(default)]
+    pub per_shard: Vec<u64>,
 }
 
-/// Thread-safe organization cache.
+/// A shard entry: either a finished result or a computation in flight.
+#[derive(Debug, Clone)]
+enum Slot {
+    Ready(CachedResult),
+    InFlight(Arc<Flight>),
+}
+
+/// State of one in-flight computation.
+#[derive(Debug, Clone)]
+enum FlightState {
+    Pending,
+    Done(CachedResult),
+    /// The leader dropped its guard without completing (panic or early
+    /// return); waiters must retry from scratch.
+    Abandoned,
+}
+
+/// The single-flight rendezvous: waiters block on `cv` until `state`
+/// leaves `Pending`.
+struct Flight {
+    state: Mutex<FlightState>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn pending() -> Arc<Flight> {
+        Arc::new(Flight {
+            state: Mutex::new(FlightState::Pending),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Block until the leader finishes or abandons; `None` = abandoned.
+    fn wait(&self) -> Option<CachedResult> {
+        let mut st = self.state.lock();
+        while matches!(*st, FlightState::Pending) {
+            self.cv.wait(&mut st);
+        }
+        match &*st {
+            FlightState::Done(r) => Some(r.clone()),
+            FlightState::Abandoned => None,
+            FlightState::Pending => unreachable!("wait loop exits only on resolution"),
+        }
+    }
+
+    fn resolve(&self, state: FlightState) {
+        *self.state.lock() = state;
+        self.cv.notify_all();
+    }
+}
+
+impl fmt::Debug for Flight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Flight { .. }")
+    }
+}
+
+/// The outcome of a single-flight lookup ([`OrgCache::begin`]).
+#[derive(Debug)]
+pub enum Lookup<'a> {
+    /// The key was already cached.
+    Hit(CachedResult),
+    /// Another worker was computing this key; we waited and reuse its
+    /// result.
+    Coalesced(CachedResult),
+    /// Nobody has this key: the caller is now the leader and must either
+    /// [`FlightGuard::complete`] the guard or drop it to abandon.
+    Miss(FlightGuard<'a>),
+}
+
+/// Leadership over one in-flight cache slot. Completing stores the result
+/// and wakes every coalesced waiter; dropping without completing (e.g. on
+/// a panic inside the pipeline) abandons the slot so waiters can recover.
+#[derive(Debug)]
+pub struct FlightGuard<'a> {
+    cache: &'a OrgCache,
+    key: OrgKey,
+    flight: Arc<Flight>,
+    completed: bool,
+}
+
+impl FlightGuard<'_> {
+    /// Publish the computed result: store it in the shard (unless the slot
+    /// was invalidated mid-flight) and wake all waiters with it.
+    pub fn complete(mut self, result: CachedResult) {
+        self.completed = true;
+        let shard = self.cache.shard_of(&self.key);
+        {
+            let mut map = shard.write();
+            // Only store if the slot still belongs to this flight: an
+            // invalidation that raced with the computation wins.
+            if matches!(map.get(&self.key), Some(Slot::InFlight(f)) if Arc::ptr_eq(f, &self.flight))
+            {
+                map.insert(self.key.clone(), Slot::Ready(result.clone()));
+                self.cache.inserts.inc();
+            }
+        }
+        self.flight.resolve(FlightState::Done(result));
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if self.completed {
+            return;
+        }
+        let shard = self.cache.shard_of(&self.key);
+        {
+            let mut map = shard.write();
+            if matches!(map.get(&self.key), Some(Slot::InFlight(f)) if Arc::ptr_eq(f, &self.flight))
+            {
+                map.remove(&self.key);
+            }
+        }
+        self.flight.resolve(FlightState::Abandoned);
+    }
+}
+
+/// Thread-safe, sharded organization cache with single-flight miss
+/// coalescing.
 ///
 /// Lookup/store traffic is counted on shared [`Counter`]s so reuse across
 /// same-org ASes (§5.1) is observable; the counters can be supplied by a
 /// metrics registry via [`OrgCache::with_counters`] or default to private
 /// ones.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct OrgCache {
-    map: RwLock<HashMap<OrgKey, CachedResult>>,
+    shards: Box<[RwLock<HashMap<OrgKey, Slot>>]>,
+    mask: usize,
     hits: Arc<Counter>,
     misses: Arc<Counter>,
     inserts: Arc<Counter>,
+    coalesced: Arc<Counter>,
+}
+
+impl Default for OrgCache {
+    fn default() -> OrgCache {
+        OrgCache::new()
+    }
+}
+
+/// Default shard count: `next_power_of_two(4 × cores)` — enough shards
+/// that batch workers touching different organizations rarely collide.
+pub fn default_shards() -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    (4 * cores).next_power_of_two()
 }
 
 impl OrgCache {
-    /// Empty cache.
+    /// Empty cache with the default shard count.
     pub fn new() -> OrgCache {
-        OrgCache::default()
+        OrgCache::with_shards(default_shards())
     }
 
-    /// Empty cache whose hit/miss/insert counters are shared with a
-    /// metrics registry.
+    /// Empty cache with an explicit shard count (rounded up to a power of
+    /// two; 1 reproduces the legacy single-lock behavior).
+    pub fn with_shards(n: usize) -> OrgCache {
+        OrgCache::with_counters_and_shards(
+            Arc::new(Counter::new()),
+            Arc::new(Counter::new()),
+            Arc::new(Counter::new()),
+            Arc::new(Counter::new()),
+            n,
+        )
+    }
+
+    /// Empty cache (default shard count) whose traffic counters are shared
+    /// with a metrics registry.
     pub fn with_counters(
         hits: Arc<Counter>,
         misses: Arc<Counter>,
         inserts: Arc<Counter>,
+        coalesced: Arc<Counter>,
     ) -> OrgCache {
+        OrgCache::with_counters_and_shards(hits, misses, inserts, coalesced, default_shards())
+    }
+
+    /// Shared counters and an explicit shard count.
+    pub fn with_counters_and_shards(
+        hits: Arc<Counter>,
+        misses: Arc<Counter>,
+        inserts: Arc<Counter>,
+        coalesced: Arc<Counter>,
+        n: usize,
+    ) -> OrgCache {
+        let n = n.max(1).next_power_of_two();
+        let shards = (0..n)
+            .map(|_| RwLock::new(HashMap::new()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
         OrgCache {
-            map: RwLock::default(),
+            shards,
+            mask: n - 1,
             hits,
             misses,
             inserts,
+            coalesced,
         }
     }
 
-    /// Look up a key.
+    /// Number of shards the map is split into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, key: &OrgKey) -> &RwLock<HashMap<OrgKey, Slot>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[h.finish() as usize & self.mask]
+    }
+
+    /// Look up a key. In-flight slots count as misses here; use
+    /// [`OrgCache::begin`] to participate in single-flight coalescing.
     pub fn get(&self, key: &OrgKey) -> Option<CachedResult> {
-        let hit = self.map.read().get(key).cloned();
+        let hit = match self.shard_of(key).read().get(key) {
+            Some(Slot::Ready(r)) => Some(r.clone()),
+            _ => None,
+        };
         match hit {
             Some(r) => {
                 self.hits.inc();
@@ -110,30 +317,101 @@ impl OrgCache {
         }
     }
 
-    /// Store a result.
+    /// Single-flight lookup. A [`Lookup::Miss`] makes the caller the
+    /// leader for this key: concurrent `begin` calls on the same key block
+    /// until the leader completes (→ [`Lookup::Coalesced`]) or abandons
+    /// (→ they retry and one becomes the new leader).
+    pub fn begin(&self, key: &OrgKey) -> Lookup<'_> {
+        loop {
+            // Fast read path.
+            let waiting = {
+                let map = self.shard_of(key).read();
+                match map.get(key) {
+                    Some(Slot::Ready(r)) => {
+                        let r = r.clone();
+                        drop(map);
+                        self.hits.inc();
+                        return Lookup::Hit(r);
+                    }
+                    Some(Slot::InFlight(f)) => Some(Arc::clone(f)),
+                    None => None,
+                }
+            };
+            if let Some(flight) = waiting {
+                match flight.wait() {
+                    Some(r) => {
+                        self.coalesced.inc();
+                        return Lookup::Coalesced(r);
+                    }
+                    None => continue, // leader abandoned — retry
+                }
+            }
+            // Slow path: take the write lock and either observe a racing
+            // winner or install our own in-flight slot.
+            let shard = self.shard_of(key);
+            let mut map = shard.write();
+            match map.get(key) {
+                Some(Slot::Ready(r)) => {
+                    let r = r.clone();
+                    drop(map);
+                    self.hits.inc();
+                    return Lookup::Hit(r);
+                }
+                Some(Slot::InFlight(_)) => continue, // lost the race — rejoin via read path
+                None => {
+                    let flight = Flight::pending();
+                    map.insert(key.clone(), Slot::InFlight(Arc::clone(&flight)));
+                    drop(map);
+                    self.misses.inc();
+                    return Lookup::Miss(FlightGuard {
+                        cache: self,
+                        key: key.clone(),
+                        flight,
+                        completed: false,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Store a result directly (bypassing single-flight — used by the §5.3
+    /// community-correction path).
     pub fn put(&self, key: OrgKey, result: CachedResult) {
         self.inserts.inc();
-        self.map.write().insert(key, result);
+        self.shard_of(&key).write().insert(key, Slot::Ready(result));
     }
 
-    /// Invalidate a key (ownership metadata changed, §5.3).
+    /// Invalidate a key (ownership metadata changed, §5.3). Wins over a
+    /// concurrent in-flight computation: the leader's result is then not
+    /// stored.
     pub fn invalidate(&self, key: &OrgKey) -> bool {
-        self.map.write().remove(key).is_some()
+        self.shard_of(key).write().remove(key).is_some()
     }
 
-    /// Number of cached organizations.
+    /// Number of cached organizations (ready entries; in-flight slots are
+    /// not results yet).
     pub fn len(&self) -> usize {
-        self.map.read().len()
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .values()
+                    .filter(|v| matches!(v, Slot::Ready(_)))
+                    .count()
+            })
+            .sum()
     }
 
-    /// Whether the cache is empty.
+    /// Whether the cache holds no ready entries.
     pub fn is_empty(&self) -> bool {
-        self.map.read().is_empty()
+        self.len() == 0
     }
 
     /// Drop everything (statistics counters are preserved).
     pub fn clear(&self) {
-        self.map.write().clear();
+        for s in self.shards.iter() {
+            s.write().clear();
+        }
     }
 
     /// Lookups that found an entry.
@@ -151,25 +429,45 @@ impl OrgCache {
         self.inserts.get()
     }
 
-    /// Fraction of lookups served from the cache (0 when none happened).
+    /// Lookups that joined an in-flight computation.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.get()
+    }
+
+    /// Fraction of lookups served without running the pipeline — hits plus
+    /// coalesced waits over all lookups (0 when none happened).
     pub fn hit_rate(&self) -> f64 {
-        let hits = self.hits.get();
-        let total = hits + self.misses.get();
+        let served = self.hits.get() + self.coalesced.get();
+        let total = served + self.misses.get();
         if total == 0 {
             0.0
         } else {
-            hits as f64 / total as f64
+            served as f64 / total as f64
         }
     }
 
-    /// Serializable occupancy + reuse statistics.
+    /// Serializable occupancy + reuse statistics, including per-shard
+    /// occupancy.
     pub fn snapshot(&self) -> CacheSnapshot {
+        let per_shard: Vec<u64> = self
+            .shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .values()
+                    .filter(|v| matches!(v, Slot::Ready(_)))
+                    .count() as u64
+            })
+            .collect();
         CacheSnapshot {
-            entries: self.len() as u64,
+            entries: per_shard.iter().sum(),
             hits: self.hits.get(),
             misses: self.misses.get(),
             inserts: self.inserts.get(),
+            coalesced: self.coalesced.get(),
             hit_rate: self.hit_rate(),
+            shards: self.shards.len() as u64,
+            per_shard,
         }
     }
 }
@@ -179,6 +477,13 @@ mod tests {
     use super::*;
     use asdb_taxonomy::naicslite::known;
     use asdb_taxonomy::Category;
+
+    fn result(tag: &str) -> CachedResult {
+        CachedResult {
+            categories: CategorySet::new(),
+            provenance: tag.into(),
+        }
+    }
 
     #[test]
     fn key_prefers_domain() {
@@ -240,6 +545,9 @@ mod tests {
         assert_eq!(snap.hits, 2);
         assert_eq!(snap.misses, 1);
         assert_eq!(snap.inserts, 1);
+        assert_eq!(snap.coalesced, 0);
+        assert_eq!(snap.shards, cache.shard_count() as u64);
+        assert_eq!(snap.per_shard.iter().sum::<u64>(), snap.entries);
         // Snapshot round-trips through serde.
         let json = serde_json::to_string(&snap).unwrap();
         let back: CacheSnapshot = serde_json::from_str(&json).unwrap();
@@ -259,21 +567,21 @@ mod tests {
         let hits = Arc::new(Counter::new());
         let misses = Arc::new(Counter::new());
         let inserts = Arc::new(Counter::new());
-        let cache =
-            OrgCache::with_counters(Arc::clone(&hits), Arc::clone(&misses), Arc::clone(&inserts));
+        let coalesced = Arc::new(Counter::new());
+        let cache = OrgCache::with_counters(
+            Arc::clone(&hits),
+            Arc::clone(&misses),
+            Arc::clone(&inserts),
+            Arc::clone(&coalesced),
+        );
         let key = OrgKey::Name("acme".into());
         let _ = cache.get(&key);
-        cache.put(
-            key.clone(),
-            CachedResult {
-                categories: CategorySet::new(),
-                provenance: "t".into(),
-            },
-        );
+        cache.put(key.clone(), result("t"));
         let _ = cache.get(&key);
         assert_eq!(hits.get(), 1);
         assert_eq!(misses.get(), 1);
         assert_eq!(inserts.get(), 1);
+        assert_eq!(coalesced.get(), 0);
     }
 
     #[test]
@@ -286,13 +594,7 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for i in 0..100 {
                     let key = OrgKey::Name(format!("org-{t}-{i}"));
-                    c.put(
-                        key.clone(),
-                        CachedResult {
-                            categories: CategorySet::new(),
-                            provenance: "t".into(),
-                        },
-                    );
+                    c.put(key.clone(), result("t"));
                     assert!(c.get(&key).is_some());
                 }
             }));
@@ -301,5 +603,129 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(cache.len(), 800);
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(OrgCache::with_shards(0).shard_count(), 1);
+        assert_eq!(OrgCache::with_shards(1).shard_count(), 1);
+        assert_eq!(OrgCache::with_shards(3).shard_count(), 4);
+        assert_eq!(OrgCache::with_shards(16).shard_count(), 16);
+    }
+
+    #[test]
+    fn snapshot_totals_are_shard_count_invariant() {
+        // The same workload through 1, 4, and 32 shards must report
+        // identical totals; only the per-shard spread may differ.
+        let mut snaps = Vec::new();
+        for n in [1usize, 4, 32] {
+            let cache = OrgCache::with_shards(n);
+            for i in 0..50 {
+                let key = OrgKey::Name(format!("org-{i}"));
+                assert!(cache.get(&key).is_none());
+                cache.put(key.clone(), result("t"));
+                assert!(cache.get(&key).is_some());
+            }
+            snaps.push(cache.snapshot());
+        }
+        for s in &snaps {
+            assert_eq!(s.entries, 50);
+            assert_eq!(s.hits, 50);
+            assert_eq!(s.misses, 50);
+            assert_eq!(s.inserts, 50);
+            assert_eq!(s.per_shard.iter().sum::<u64>(), s.entries);
+            assert_eq!(s.per_shard.len() as u64, s.shards);
+            assert_eq!(s.hit_rate, snaps[0].hit_rate);
+        }
+    }
+
+    #[test]
+    fn single_flight_miss_then_complete() {
+        let cache = OrgCache::new();
+        let key = OrgKey::Name("acme".into());
+        let Lookup::Miss(guard) = cache.begin(&key) else {
+            panic!("fresh key must miss");
+        };
+        // While in flight the slot is not a ready entry.
+        assert_eq!(cache.len(), 0);
+        guard.complete(result("leader"));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.inserts(), 1);
+        match cache.begin(&key) {
+            Lookup::Hit(r) => assert_eq!(r.provenance, "leader"),
+            other => panic!("expected hit, got {other:?}"),
+        };
+    }
+
+    #[test]
+    fn abandoned_flight_lets_next_caller_lead() {
+        let cache = OrgCache::new();
+        let key = OrgKey::Name("acme".into());
+        let Lookup::Miss(guard) = cache.begin(&key) else {
+            panic!("fresh key must miss");
+        };
+        drop(guard); // leader "panicked"
+        assert_eq!(cache.inserts(), 0);
+        let Lookup::Miss(guard2) = cache.begin(&key) else {
+            panic!("abandoned slot must be re-claimable");
+        };
+        guard2.complete(result("second"));
+        assert_eq!(cache.inserts(), 1);
+    }
+
+    #[test]
+    fn invalidate_during_flight_wins() {
+        let cache = OrgCache::new();
+        let key = OrgKey::Name("acme".into());
+        let Lookup::Miss(guard) = cache.begin(&key) else {
+            panic!("fresh key must miss");
+        };
+        cache.invalidate(&key);
+        guard.complete(result("stale"));
+        // The result was delivered to waiters but not stored.
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.inserts(), 0);
+    }
+
+    #[test]
+    fn sixteen_threads_same_key_coalesce_to_one_computation() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Barrier;
+        let cache = Arc::new(OrgCache::new());
+        let computations = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(Barrier::new(16));
+        let mut handles = Vec::new();
+        for _ in 0..16 {
+            let cache = Arc::clone(&cache);
+            let computations = Arc::clone(&computations);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                let key = OrgKey::Name("contested".into());
+                barrier.wait();
+                match cache.begin(&key) {
+                    Lookup::Miss(guard) => {
+                        computations.fetch_add(1, Ordering::SeqCst);
+                        // Hold the flight open long enough that the other
+                        // 15 threads arrive while it is pending.
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                        guard.complete(result("leader"));
+                        "leader".to_owned()
+                    }
+                    Lookup::Coalesced(r) | Lookup::Hit(r) => r.provenance,
+                }
+            }));
+        }
+        let outcomes: Vec<String> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Exactly one thread ran the computation; everyone got its result.
+        assert_eq!(computations.load(Ordering::SeqCst), 1);
+        assert_eq!(cache.inserts(), 1);
+        assert!(outcomes.iter().all(|o| o == "leader"));
+        // At least one thread must have arrived inside the 50 ms window.
+        assert!(
+            cache.coalesced() > 0,
+            "no coalescing despite a 50 ms in-flight window"
+        );
+        assert_eq!(cache.hits() + cache.coalesced(), 15);
+        assert_eq!(cache.misses(), 1);
     }
 }

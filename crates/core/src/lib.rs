@@ -21,11 +21,13 @@
 //! 6. **Consensus / auto-choose** — agreeing sources' union, otherwise the
 //!    source with the best §5.1 accuracy rank.
 //!
-//! Plus the operational half the paper only sketches: a concurrent
-//! organization [`cache`], [`batch`] classification across threads, the
-//! §5.3 [`maintain`] loop over registration churn, the public
-//! [`dataset`] dump format, and always-on [`metrics`] — per-stage
-//! counters mirroring Table 8, per-source hit rates, cache reuse, and
+//! Plus the operational half the paper only sketches: a sharded,
+//! single-flight organization [`cache`] (concurrent misses on the same
+//! organization coalesce onto one pipeline run), work-stealing [`batch`]
+//! classification across threads, the §5.3 [`maintain`] loop over
+//! registration churn, the public [`dataset`] dump format, and always-on
+//! [`metrics`] — per-stage counters mirroring Table 8, per-source hit
+//! rates, cache reuse and coalescing, scheduler chunk/steal counts, and
 //! latency histograms, snapshot-able as text or JSON.
 
 #![forbid(unsafe_code)]
@@ -40,6 +42,8 @@ pub mod metrics;
 pub mod pipeline;
 pub mod sources_set;
 
+pub use batch::BatchConfig;
+pub use cache::{CacheSnapshot, OrgCache, OrgKey};
 pub use classifier::{MlClassifiers, MlVerdict};
 pub use metrics::PipelineMetrics;
 pub use pipeline::{AsdbSystem, Classification, Stage};

@@ -89,7 +89,9 @@ pub struct PipelineMetrics {
     cache_hits: Arc<Counter>,
     cache_misses: Arc<Counter>,
     cache_inserts: Arc<Counter>,
+    cache_coalesced: Arc<Counter>,
     cache_entries: Arc<Counter>,
+    cache_shards: Arc<Counter>,
 
     // Per-phase latency.
     classify_latency: Arc<Histogram>,
@@ -101,6 +103,8 @@ pub struct PipelineMetrics {
     batch_runs: Arc<Counter>,
     batch_records: Arc<Counter>,
     batch_workers: Arc<Counter>,
+    batch_chunks: Arc<Counter>,
+    batch_steals: Arc<Counter>,
     batch_wall: Arc<Histogram>,
     batch_worker_wall: Arc<Histogram>,
 }
@@ -134,7 +138,9 @@ impl PipelineMetrics {
             cache_hits: registry.counter("cache.hits"),
             cache_misses: registry.counter("cache.misses"),
             cache_inserts: registry.counter("cache.inserts"),
+            cache_coalesced: registry.counter("cache.coalesced"),
             cache_entries: registry.counter("cache.entries"),
+            cache_shards: registry.counter("cache.shards"),
             classify_latency: registry.histogram("pipeline.classify"),
             domain_latency: registry.histogram("pipeline.domain_select"),
             ml_latency: registry.histogram("pipeline.ml"),
@@ -142,6 +148,8 @@ impl PipelineMetrics {
             batch_runs: registry.counter("batch.runs"),
             batch_records: registry.counter("batch.records"),
             batch_workers: registry.counter("batch.workers"),
+            batch_chunks: registry.counter("batch.chunks"),
+            batch_steals: registry.counter("batch.steals"),
             batch_wall: registry.histogram("batch.wall"),
             batch_worker_wall: registry.histogram("batch.worker_wall"),
             registry,
@@ -161,13 +169,27 @@ impl PipelineMetrics {
         self.enabled.store(on, Ordering::Relaxed);
     }
 
-    /// Build an [`OrgCache`] whose hit/miss/insert traffic lands in this
-    /// registry's `cache.*` counters.
+    /// Build an [`OrgCache`] (default shard count) whose
+    /// hit/miss/insert/coalesced traffic lands in this registry's
+    /// `cache.*` counters.
     pub fn build_cache(&self) -> OrgCache {
         OrgCache::with_counters(
             Arc::clone(&self.cache_hits),
             Arc::clone(&self.cache_misses),
             Arc::clone(&self.cache_inserts),
+            Arc::clone(&self.cache_coalesced),
+        )
+    }
+
+    /// [`PipelineMetrics::build_cache`] with an explicit shard count
+    /// (1 reproduces the legacy single-lock behavior).
+    pub fn build_cache_with_shards(&self, n: usize) -> OrgCache {
+        OrgCache::with_counters_and_shards(
+            Arc::clone(&self.cache_hits),
+            Arc::clone(&self.cache_misses),
+            Arc::clone(&self.cache_inserts),
+            Arc::clone(&self.cache_coalesced),
+            n,
         )
     }
 
@@ -273,6 +295,17 @@ impl PipelineMetrics {
         self.batch_worker_wall.record(wall);
     }
 
+    /// Record a batch run's scheduler activity: chunks claimed off the
+    /// shared queue and how many of those were steals (claims beyond each
+    /// worker's first).
+    pub fn record_batch_chunks(&self, chunks: u64, steals: u64) {
+        if !self.enabled() {
+            return;
+        }
+        self.batch_chunks.add(chunks);
+        self.batch_steals.add(steals);
+    }
+
     /// Count for one stage.
     pub fn stage_count(&self, stage: Stage) -> u64 {
         self.stage[stage.index()].get()
@@ -295,9 +328,13 @@ impl PipelineMetrics {
     }
 
     /// Serializable snapshot of every metric. `cache` supplies current
-    /// occupancy (a gauge, synced into `cache.entries` at snapshot time).
+    /// occupancy and shard layout (gauges, synced into `cache.entries` /
+    /// `cache.shards` at snapshot time).
     pub fn snapshot(&self, cache: &OrgCache) -> RegistrySnapshot {
-        self.cache_entries.store(cache.len() as u64);
+        if self.enabled() {
+            self.cache_entries.store(cache.len() as u64);
+            self.cache_shards.store(cache.shard_count() as u64);
+        }
         self.registry.snapshot()
     }
 
@@ -346,20 +383,28 @@ impl PipelineMetrics {
         let cs = cache.snapshot();
         out.push_str("\n== org cache (§5.1) ==\n");
         out.push_str(&format!(
-            "  entries {}   hits {}   misses {}   inserts {}   hit-rate {:.1}%\n",
+            "  entries {}   hits {}   misses {}   inserts {}   coalesced {}   hit-rate {:.1}%\n",
             cs.entries,
             cs.hits,
             cs.misses,
             cs.inserts,
+            cs.coalesced,
             100.0 * cs.hit_rate
+        ));
+        let max_shard = cs.per_shard.iter().copied().max().unwrap_or(0);
+        out.push_str(&format!(
+            "  shards {}   max-shard-occupancy {}\n",
+            cs.shards, max_shard
         ));
 
         out.push_str("\n== batch ==\n");
         out.push_str(&format!(
-            "  runs {}   records {}   workers {}\n",
+            "  runs {}   records {}   workers {}   chunks {}   steals {}\n",
             self.batch_runs.get(),
             self.batch_records.get(),
-            self.batch_workers.get()
+            self.batch_workers.get(),
+            self.batch_chunks.get(),
+            self.batch_steals.get()
         ));
 
         // The curated sections above already cover every counter; only the
@@ -419,7 +464,26 @@ mod tests {
         m.record_source_match(SourceId::Clearbit);
         let cache = m.build_cache();
         let snap = m.snapshot(&cache);
-        assert!(snap.counters.values().all(|v| *v == 0));
+        // `cache.shards` is a layout gauge, nonzero by construction.
+        assert!(snap
+            .counters
+            .iter()
+            .filter(|(k, _)| k.as_str() != "cache.shards")
+            .all(|(_, v)| *v == 0));
+    }
+
+    #[test]
+    fn batch_chunk_and_steal_counters() {
+        let m = PipelineMetrics::new();
+        let cache = m.build_cache_with_shards(8);
+        assert_eq!(cache.shard_count(), 8);
+        m.record_batch_chunks(12, 5);
+        m.record_batch_chunks(4, 0);
+        let snap = m.snapshot(&cache);
+        assert_eq!(snap.counter("batch.chunks"), 16);
+        assert_eq!(snap.counter("batch.steals"), 5);
+        // Shard layout is a gauge synced at snapshot time.
+        assert_eq!(snap.counter("cache.shards"), 8);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The Figure 4 classification pipeline.
 
-use crate::cache::{CachedResult, OrgCache, OrgKey};
+use crate::cache::{CachedResult, Lookup, OrgCache, OrgKey};
 use crate::classifier::{MlClassifiers, MlVerdict};
 use crate::metrics::PipelineMetrics;
 use crate::sources_set::SourceSet;
@@ -184,6 +184,16 @@ impl AsdbSystem {
         self
     }
 
+    /// Builder-style: rebuild the organization cache with an explicit
+    /// shard count (1 reproduces the legacy single-lock behavior; the
+    /// default is `next_power_of_two(4 × cores)`). Drops any cached
+    /// entries, so call it right after [`AsdbSystem::build`]. The metrics
+    /// counters stay shared.
+    pub fn with_cache_shards(mut self, n: usize) -> AsdbSystem {
+        self.cache = self.metrics.build_cache_with_shards(n);
+        self
+    }
+
     /// The simulated web the system scrapes.
     pub fn web(&self) -> &SimWeb {
         &self.web
@@ -261,13 +271,21 @@ impl AsdbSystem {
     /// (the expensive state, sources and trained classifiers, is shared).
     pub fn classify_with(&self, whois: &ParsedWhois, options: &PipelineOptions) -> Classification {
         let start = std::time::Instant::now();
-        let c = self.classify_inner(whois, options);
+        let c = self.classify_inner(whois, options, None);
         self.metrics.record_classification(&c, start.elapsed());
         c
     }
 
-    /// The uninstrumented Figure 4 pipeline body.
-    fn classify_inner(&self, whois: &ParsedWhois, options: &PipelineOptions) -> Classification {
+    /// The uninstrumented Figure 4 pipeline body. `preselected` carries an
+    /// already-computed §5.1 domain decision (from the cached path's key
+    /// derivation) so domain selection runs exactly once per record;
+    /// `None` means select (and meter) it here.
+    fn classify_inner(
+        &self,
+        whois: &ParsedWhois,
+        options: &PipelineOptions,
+        preselected: Option<Option<Domain>>,
+    ) -> Classification {
         // Stage 1: ASN-indexed sources.
         let asn_query = Query::by_asn(whois.asn);
         self.metrics.record_source_query(SourceId::PeeringDb);
@@ -294,11 +312,19 @@ impl AsdbSystem {
             }
         }
 
-        // Stage 2: domain selection + ML.
-        let t_domain = std::time::Instant::now();
-        let chosen_domain = self.select_domain_with(whois, options.domain_strategy);
-        self.metrics
-            .record_domain_outcome(chosen_domain.is_some(), t_domain.elapsed());
+        // Stage 2: domain selection + ML. The cached path has already
+        // selected (and metered) the domain while deriving the org key —
+        // reuse it instead of running §5.1 a second time.
+        let chosen_domain = match preselected {
+            Some(domain) => domain,
+            None => {
+                let t_domain = std::time::Instant::now();
+                let d = self.select_domain_with(whois, options.domain_strategy);
+                self.metrics
+                    .record_domain_outcome(d.is_some(), t_domain.elapsed());
+                d
+            }
+        };
         let ml = if options.use_ml {
             let t_ml = std::time::Instant::now();
             let verdict = chosen_domain
@@ -359,12 +385,28 @@ impl AsdbSystem {
     }
 
     /// Classify with the organization cache (production protocol).
+    ///
+    /// One-pass: the §5.1 domain is selected exactly once, serving both
+    /// the cache-key derivation and (on a miss) the pipeline body. Misses
+    /// go through the cache's single-flight protocol, so concurrent
+    /// batch workers hitting the same organization run the expensive
+    /// pipeline once and everyone else reuses the in-flight result
+    /// (`cache.coalesced`).
     pub fn classify_cached(&self, whois: &ParsedWhois) -> Classification {
         let start = std::time::Instant::now();
+        let t_domain = std::time::Instant::now();
         let chosen = self.select_domain(whois);
-        let key = OrgKey::derive(chosen.as_ref(), &whois.name);
-        if let Some(k) = &key {
-            if let Some(hit) = self.cache.get(k) {
+        self.metrics
+            .record_domain_outcome(chosen.is_some(), t_domain.elapsed());
+        let Some(key) = OrgKey::derive(chosen.as_ref(), &whois.name) else {
+            // No identity signal → nothing to cache under; still reuse the
+            // already-selected domain for the pipeline body.
+            let c = self.classify_inner(whois, &self.options, Some(chosen));
+            self.metrics.record_classification(&c, start.elapsed());
+            return c;
+        };
+        match self.cache.begin(&key) {
+            Lookup::Hit(hit) | Lookup::Coalesced(hit) => {
                 let c = Classification {
                     asn: whois.asn,
                     categories: hit.categories,
@@ -375,20 +417,22 @@ impl AsdbSystem {
                     match_labels: Vec::new(),
                 };
                 self.metrics.record_classification(&c, start.elapsed());
-                return c;
+                c
+            }
+            Lookup::Miss(flight) => {
+                // We are the leader for this organization: run the full
+                // pipeline with the domain we already selected. If it
+                // panics, dropping `flight` abandons the slot and waiters
+                // recover.
+                let c = self.classify_inner(whois, &self.options, Some(chosen));
+                self.metrics.record_classification(&c, start.elapsed());
+                flight.complete(CachedResult {
+                    categories: c.categories.clone(),
+                    provenance: c.stage.label().to_owned(),
+                });
+                c
             }
         }
-        let result = self.classify(whois);
-        if let Some(k) = key {
-            self.cache.put(
-                k,
-                CachedResult {
-                    categories: result.categories.clone(),
-                    provenance: result.stage.label().to_owned(),
-                },
-            );
-        }
-        result
     }
 
     /// The consensus phase (§5.1): agreement → union of agreeing labels;

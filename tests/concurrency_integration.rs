@@ -1,0 +1,233 @@
+//! Concurrency-substrate integration: the sharded single-flight org
+//! cache and the work-stealing batch scheduler, exercised through the
+//! real Figure 4 pipeline.
+//!
+//! The invariants under test:
+//!
+//! * `classify_batch_cached` output labels agree with serial
+//!   classification for every `(n_threads, chunk_size)` combination, for
+//!   any organization whose members classify identically (the only case
+//!   where a label-level guarantee is possible — which member of a
+//!   divergent org computes first has always been schedule-dependent);
+//! * `CacheSnapshot` totals are invariant under the shard count;
+//! * a duplicate-heavy batch inserts each unique organization exactly
+//!   once (single-flight), with every duplicate served as a hit or a
+//!   coalesced wait;
+//! * a worker that misses while another worker's computation for the same
+//!   organization is in flight blocks and reuses that result
+//!   (`cache.coalesced > 0`), instead of redoing the scrape+ML work.
+
+use asdb_core::batch::{classify_batch_cached_with, classify_batch_with, BatchConfig};
+use asdb_core::cache::{CachedResult, Lookup, OrgKey};
+use asdb_core::{AsdbSystem, Stage};
+use asdb_model::WorldSeed;
+use asdb_worldgen::{World, WorldConfig};
+use std::collections::{HashMap, HashSet};
+
+fn build(world_seed: u64, sys_seed: u64) -> (World, AsdbSystem) {
+    let w = World::generate(WorldConfig::small(WorldSeed::new(world_seed)));
+    let s = AsdbSystem::build(&w, WorldSeed::new(sys_seed));
+    (w, s)
+}
+
+/// Records whose organization's members all classify to the same label
+/// set (plus keyless records): the subset where cached-batch output is
+/// label-deterministic under any schedule.
+fn label_stable_records(
+    w: &World,
+    s: &AsdbSystem,
+    take: usize,
+) -> Vec<(asdb_rir::ParsedWhois, asdb_taxonomy::CategorySet)> {
+    let records: Vec<_> = w.ases.iter().take(take).map(|r| r.parsed.clone()).collect();
+    let serial: Vec<_> = records.iter().map(|r| s.classify(r)).collect();
+    let mut by_key: HashMap<OrgKey, Vec<usize>> = HashMap::new();
+    for (i, rec) in records.iter().enumerate() {
+        if let Some(k) = OrgKey::derive(s.select_domain(rec).as_ref(), &rec.name) {
+            by_key.entry(k).or_default().push(i);
+        }
+    }
+    let unstable: HashSet<usize> = by_key
+        .values()
+        .filter(|idxs| {
+            idxs.iter()
+                .any(|&i| serial[i].categories != serial[idxs[0]].categories)
+        })
+        .flat_map(|idxs| idxs.iter().copied())
+        .collect();
+    records
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| !unstable.contains(i))
+        .map(|(i, r)| (r, serial[i].categories.clone()))
+        .collect()
+}
+
+#[test]
+fn cached_batch_labels_match_serial_for_any_config() {
+    let (w, s) = build(41, 42);
+    let stable = label_stable_records(&w, &s, 80);
+    assert!(
+        stable.len() >= 40,
+        "world too label-divergent for the test to mean anything: {}",
+        stable.len()
+    );
+    let records: Vec<_> = stable.iter().map(|(r, _)| r.clone()).collect();
+    for n_threads in [1usize, 2, 4, 8] {
+        for chunk_size in [1usize, 3, 16, 1000] {
+            // Cold cache per config (same system — rebuilding would retrain
+            // the classifiers 16 times for nothing).
+            s.cache().clear();
+            let cfg = BatchConfig::with_threads(n_threads).chunk_size(chunk_size);
+            let out = classify_batch_cached_with(&s, &records, cfg);
+            assert_eq!(out.len(), records.len());
+            for ((rec, want), got) in stable.iter().zip(&out) {
+                assert_eq!(
+                    got.asn, rec.asn,
+                    "order broke at {n_threads}t/{chunk_size}c"
+                );
+                assert_eq!(
+                    &got.categories, want,
+                    "labels diverge for {} at {n_threads}t/{chunk_size}c",
+                    rec.asn
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn uncached_batch_is_byte_identical_to_serial_for_any_config() {
+    let (w, s) = build(43, 44);
+    let records: Vec<_> = w.ases.iter().take(60).map(|r| r.parsed.clone()).collect();
+    let serial: Vec<_> = records.iter().map(|r| s.classify(r)).collect();
+    for n_threads in [1usize, 2, 8] {
+        for chunk_size in [1usize, 5, 60] {
+            let cfg = BatchConfig::with_threads(n_threads).chunk_size(chunk_size);
+            let out = classify_batch_with(&s, &records, cfg);
+            for (a, b) in serial.iter().zip(&out) {
+                assert_eq!(a.asn, b.asn);
+                assert_eq!(a.categories, b.categories);
+                assert_eq!(a.stage, b.stage);
+                assert_eq!(a.sources, b.sources);
+                assert_eq!(a.chosen_domain, b.chosen_domain);
+            }
+        }
+    }
+}
+
+#[test]
+fn snapshot_totals_are_shard_count_invariant_through_the_pipeline() {
+    let w = World::generate(WorldConfig::small(WorldSeed::new(45)));
+    let records: Vec<_> = w.ases.iter().take(60).map(|r| r.parsed.clone()).collect();
+    let mut snaps = Vec::new();
+    for shards in [1usize, 4, 64] {
+        let s = AsdbSystem::build(&w, WorldSeed::new(46)).with_cache_shards(shards);
+        assert_eq!(s.cache().shard_count(), shards);
+        // Serial on purpose: identical lookup sequence for every layout.
+        for rec in &records {
+            let _ = s.classify_cached(rec);
+        }
+        snaps.push(s.cache().snapshot());
+    }
+    let base = &snaps[0];
+    for snap in &snaps {
+        assert_eq!(snap.entries, base.entries);
+        assert_eq!(snap.hits, base.hits);
+        assert_eq!(snap.misses, base.misses);
+        assert_eq!(snap.inserts, base.inserts);
+        assert_eq!(snap.coalesced, 0, "serial runs cannot coalesce");
+        assert_eq!(snap.hit_rate, base.hit_rate);
+        assert_eq!(snap.per_shard.len() as u64, snap.shards);
+        assert_eq!(snap.per_shard.iter().sum::<u64>(), snap.entries);
+    }
+    assert_ne!(snaps[0].shards, snaps[2].shards);
+}
+
+#[test]
+fn duplicate_heavy_batch_inserts_each_org_once() {
+    let (w, s) = build(47, 48);
+    // Every record duplicated 6×: the §5.1 multi-AS-organization case,
+    // concentrated.
+    let base: Vec<_> = w.ases.iter().take(30).map(|r| r.parsed.clone()).collect();
+    let records: Vec<_> = base
+        .iter()
+        .flat_map(|r| std::iter::repeat(r.clone()).take(6))
+        .collect();
+    let unique_keys: HashSet<OrgKey> = base
+        .iter()
+        .filter_map(|r| OrgKey::derive(s.select_domain(r).as_ref(), &r.name))
+        .collect();
+    let keyed_records = records
+        .iter()
+        .filter(|r| OrgKey::derive(s.select_domain(r).as_ref(), &r.name).is_some())
+        .count() as u64;
+    let cfg = BatchConfig::with_threads(8).chunk_size(1);
+    let out = classify_batch_cached_with(&s, &records, cfg);
+    assert_eq!(out.len(), records.len());
+    let cache = s.cache();
+    // Single-flight: one insert per unique organization, no matter how
+    // many duplicates raced.
+    assert_eq!(cache.inserts(), unique_keys.len() as u64);
+    assert_eq!(cache.len(), unique_keys.len());
+    // Every keyed lookup was either the unique miss for its org, a hit,
+    // or a coalesced wait — nothing fell through to a redundant pipeline
+    // run.
+    assert_eq!(cache.misses(), unique_keys.len() as u64);
+    assert_eq!(
+        cache.hits() + cache.coalesced() + cache.misses(),
+        keyed_records
+    );
+    // And the stage counters agree: exactly one non-cached classification
+    // per unique org among keyed records.
+    let cached_stage = out.iter().filter(|c| c.stage == Stage::Cached).count() as u64;
+    assert_eq!(cached_stage, cache.hits() + cache.coalesced());
+}
+
+#[test]
+fn concurrent_miss_on_same_org_coalesces_onto_in_flight_result() {
+    let (w, s) = build(49, 50);
+    // Pick a record with a derivable org key.
+    let rec = w
+        .ases
+        .iter()
+        .map(|r| r.parsed.clone())
+        .find(|r| OrgKey::derive(s.select_domain(r).as_ref(), &r.name).is_some())
+        .expect("some record has an identity key");
+    let key = OrgKey::derive(s.select_domain(&rec).as_ref(), &rec.name).unwrap();
+
+    // Become the leader for that organization by hand…
+    let Lookup::Miss(flight) = s.cache().begin(&key) else {
+        panic!("fresh cache must miss");
+    };
+    let sentinel = CachedResult {
+        categories: asdb_taxonomy::CategorySet::new(),
+        provenance: "test-leader".into(),
+    };
+    let started = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        // …while a worker classifies the same organization concurrently.
+        let worker = scope.spawn(|| {
+            started.store(true, std::sync::atomic::Ordering::SeqCst);
+            s.classify_cached(&rec)
+        });
+        // Wait until the worker is actually running, then give it a
+        // generous window to select the domain and block on the in-flight
+        // slot before we publish (so thread-spawn latency can't eat the
+        // window on slow single-core machines).
+        while !started.load(std::sync::atomic::Ordering::SeqCst) {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(400));
+        flight.complete(sentinel.clone());
+        let c = worker.join().expect("worker thread");
+        // The worker must have reused the in-flight result rather than
+        // re-running the pipeline: Cached stage, the leader's labels.
+        assert_eq!(c.stage, Stage::Cached);
+        assert_eq!(c.categories, sentinel.categories);
+    });
+    assert!(
+        s.cache().coalesced() > 0,
+        "worker re-ran the pipeline instead of joining the in-flight slot"
+    );
+    assert_eq!(s.cache().inserts(), 1);
+}
