@@ -94,9 +94,21 @@ impl MlClassifiers {
         let config = PipelineConfig::asdb_default();
         let mut cfg = config.clone();
         cfg.vectorizer.min_df = 2;
-        let isp = TextPipeline::fit(&doc_refs, &isp_labels, cfg.clone(), seed.derive("isp-clf"));
-        let hosting =
-            TextPipeline::fit(&doc_refs, &hosting_labels, cfg, seed.derive("hosting-clf"));
+        // The two detectors share the corpus but nothing else: train them
+        // on parallel threads. Each fit is deterministic in its own
+        // derived seed, so the result is identical to sequential training.
+        let (isp, hosting) = std::thread::scope(|s| {
+            let isp_cfg = cfg.clone();
+            let isp_handle = s.spawn(|| {
+                TextPipeline::fit(&doc_refs, &isp_labels, isp_cfg, seed.derive("isp-clf"))
+            });
+            let hosting =
+                TextPipeline::fit(&doc_refs, &hosting_labels, cfg, seed.derive("hosting-clf"));
+            (
+                isp_handle.join().expect("isp classifier training panicked"),
+                hosting,
+            )
+        });
         MlClassifiers {
             isp,
             hosting,

@@ -29,6 +29,14 @@
 //! Everything is implemented directly over `Vec`/sparse pairs — no external
 //! ML or linear-algebra dependencies ("thin NLP/ML ecosystem" is exactly
 //! the gap this crate fills).
+//!
+//! The training/inference hot path is O(nnz): the SGD trainer uses lazy
+//! weight scaling with lazily-materialized iterate averaging (see
+//! [`sgd`]'s module docs for the math), tokenization is zero-copy
+//! ([`tokenize::tokens`] / [`tokenize::for_each_token`]), and the
+//! ensemble fits its members on parallel threads. The pre-optimization
+//! implementations are retained behind the `dense-ref` feature (and in
+//! tests) as differential oracles and benchmark baselines.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,4 +54,5 @@ pub use metrics::{BinaryConfusion, Metrics};
 pub use pipeline::TextPipeline;
 pub use sgd::{Loss, SgdClassifier, SgdEnsemble};
 pub use tfidf::TfidfTransformer;
+pub use tokenize::{for_each_token, tokens};
 pub use vectorize::{CountVectorizer, SparseVec};

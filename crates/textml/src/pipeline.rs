@@ -46,6 +46,11 @@ pub struct TextPipeline {
 impl TextPipeline {
     /// Fit the full pipeline on labeled documents.
     ///
+    /// The hot path is allocation- and compute-lean end to end: the
+    /// vectorizer tokenizes each document once (borrowed tokens) and
+    /// replays the stream for the transform pass, and the ensemble trains
+    /// its members on parallel threads with the O(nnz) lazy-scaled SGD.
+    ///
     /// Panics if `docs` and `labels` have different lengths.
     pub fn fit(
         docs: &[&str],
@@ -76,6 +81,20 @@ impl TextPipeline {
     /// Transform a raw document into the pipeline's feature space.
     pub fn featurize(&self, doc: &str) -> SparseVec {
         self.tfidf.transform(&self.vectorizer.transform(doc))
+    }
+
+    /// Featurize through the retained pre-optimization vectorizer and
+    /// TF-IDF paths (differential oracle / benchmark "before" arm).
+    #[cfg(any(test, feature = "dense-ref"))]
+    pub fn featurize_naive(&self, doc: &str) -> SparseVec {
+        self.tfidf
+            .transform_naive(&self.vectorizer.transform_naive(doc))
+    }
+
+    /// The trained ensemble (exposed so benches can time inference on
+    /// pre-built feature vectors).
+    pub fn ensemble(&self) -> &SgdEnsemble {
+        &self.ensemble
     }
 
     /// Probability that the document belongs to the positive class.
@@ -181,5 +200,18 @@ mod tests {
         let x = p.featurize("fiber broadband internet coverage");
         assert!(x.nnz() > 0);
         assert!((x.norm() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn featurize_matches_naive_reference() {
+        let p = fit_toy(14);
+        for doc in [
+            "fiber broadband internet coverage",
+            "Hospital MEDICAL patient clinic",
+            "zzz qqq unknown words",
+            "",
+        ] {
+            assert_eq!(p.featurize(doc), p.featurize_naive(doc), "{doc:?}");
+        }
     }
 }

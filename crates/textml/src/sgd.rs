@@ -7,6 +7,28 @@
 //! `eta_t = 1 / (alpha * (t0 + t))` with L2 regularization and optional
 //! iterate averaging, and shuffles samples each epoch with a caller-seeded
 //! RNG so runs are reproducible.
+//!
+//! # The O(nnz) hot path
+//!
+//! The training loop is the compute-heavy core of the whole reproduction,
+//! so it is written to cost O(nnz(x)) per sample instead of O(n_features):
+//!
+//! * **Lazy scaling** — the weight vector is represented as `scale · v`.
+//!   The multiplicative L2 shrink `w ← (1 − ηα)·w` touches only the
+//!   `scale` scalar; gradient updates divide by `scale` so the invariant
+//!   `w = scale · v` holds. When `scale` decays below a threshold it is
+//!   folded back into `v` (a rare O(n_features) event).
+//! * **Lazily-materialized averaging** — ASGD needs the running mean
+//!   `ŵ_T = (1/T) Σ_t w_t`. Between two touches of feature `j`, `v[j]`
+//!   is constant and `w_t[j] = scale_t · v[j]`, so the partial sum is
+//!   `v[j] · (Q_t − Q_τ)` where `Q_t = Σ_{s≤t} scale_s` is a running
+//!   scalar. Each feature keeps the `Q` value at its last sync
+//!   (a per-feature timestamp); sums are settled only when the feature
+//!   is touched and once at the end — scikit-learn's averaged-SGD trick.
+//!
+//! The pre-optimization dense implementation is retained verbatim in
+//! [`dense_ref`] (tests and the `dense-ref` feature) as a differential
+//! oracle and as the "before" arm of the `textml` benchmark.
 
 use crate::vectorize::SparseVec;
 use asdb_model::WorldSeed;
@@ -49,6 +71,32 @@ impl Default for SgdConfig {
     }
 }
 
+/// Derivative of the loss with respect to the margin.
+#[inline]
+fn dloss(loss: Loss, y: f64, margin: f64) -> f64 {
+    match loss {
+        Loss::Log => {
+            // d/dmargin of log(1 + exp(-y*m)) = -y * sigma(-y*m)
+            let z = -y * margin;
+            let s = 1.0 / (1.0 + (-z).exp());
+            -y * s
+        }
+        Loss::Hinge => {
+            if y * margin < 1.0 {
+                -y
+            } else {
+                0.0
+            }
+        }
+    }
+}
+
+/// When `scale` decays below this, fold it back into `v` so neither the
+/// scale underflows nor `v` overflows. With the `optimal` schedule the
+/// scale only decays polynomially (`t0 / (t0 + T)`), so this is a
+/// robustness guard for extreme `alpha`/epoch settings, not a hot branch.
+const SCALE_FLOOR: f64 = 1e-30;
+
 /// A trained binary linear classifier.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SgdClassifier {
@@ -66,8 +114,281 @@ impl SgdClassifier {
     /// Train on `(x, y)` pairs, `y ∈ {false, true}`. `n_features` bounds the
     /// weight vector; features at or beyond it are ignored.
     ///
+    /// Cost is O(nnz(x)) per sample: the L2 shrink is a scalar multiply on
+    /// the lazy scale and the ASGD average is materialized per feature on
+    /// touch (see the module docs for the math).
+    ///
     /// Panics if `xs` and `ys` have different lengths (programmer error).
     pub fn fit(
+        xs: &[SparseVec],
+        ys: &[bool],
+        n_features: usize,
+        config: SgdConfig,
+        seed: WorldSeed,
+    ) -> SgdClassifier {
+        assert_eq!(xs.len(), ys.len(), "xs and ys must be parallel");
+        // w = scale * v, in f64 so the lazy algebra does not lose the
+        // f32 precision the dense reference delivers.
+        let mut v = vec![0.0f64; n_features];
+        let mut scale = 1.0f64;
+        let mut b = 0.0f64;
+        // Averaging state: acc[j] holds Σ_t w_t[j] settled up to the
+        // feature's last sync; q_sync[j] is the value of q at that sync;
+        // q = Σ_t scale_t over all completed steps.
+        let average = config.average;
+        let mut acc = vec![0.0f64; if average { n_features } else { 0 }];
+        let mut q_sync = vec![0.0f64; if average { n_features } else { 0 }];
+        let mut q = 0.0f64;
+        let mut b_avg = 0.0f64;
+        let mut n_avg = 0u64;
+
+        let mut rng = StdRng::seed_from_u64(seed.value());
+        let mut order: Vec<usize> = (0..xs.len()).collect();
+        let mut t: u64 = 1;
+        // "optimal" schedule t0, approximating scikit-learn's heuristic.
+        let t0 = 1.0 / (config.alpha.max(1e-8) as f64);
+        let alpha = config.alpha as f64;
+
+        for _ in 0..config.epochs {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                let x = &xs[i];
+                let y = if ys[i] { 1.0f64 } else { -1.0 };
+                let eta = 1.0 / (alpha * (t0 + t as f64));
+                let margin = scale * x.dot64(&v) + b;
+                // L2 shrink (applied multiplicatively, leaving bias alone)
+                // is one scalar multiply on the lazy scale.
+                let shrink = 1.0 - eta * alpha;
+                if shrink > 0.0 {
+                    scale *= shrink;
+                    if scale < SCALE_FLOOR {
+                        fold_scale(&mut v, &mut scale, average, &mut acc, &mut q_sync, q);
+                    }
+                }
+                let g = dloss(config.loss, y, margin);
+                if g != 0.0 {
+                    let step = eta * g / scale;
+                    for (j, xv) in x.iter() {
+                        let j = j as usize;
+                        if j < n_features {
+                            if average {
+                                // Settle this feature's averaged sum for the
+                                // steps since its last touch, while v[j] was
+                                // constant.
+                                acc[j] += v[j] * (q - q_sync[j]);
+                                q_sync[j] = q;
+                            }
+                            v[j] -= step * xv as f64;
+                        }
+                    }
+                    b -= eta * g;
+                }
+                if average {
+                    n_avg += 1;
+                    q += scale;
+                    b_avg += (b - b_avg) / n_avg as f64;
+                }
+                t += 1;
+            }
+        }
+
+        let (weights, bias) = if average && n_avg > 0 {
+            let inv = 1.0 / n_avg as f64;
+            let weights = v
+                .iter()
+                .zip(acc.iter())
+                .zip(q_sync.iter())
+                .map(|((vj, aj), qj)| ((aj + vj * (q - qj)) * inv) as f32)
+                .collect();
+            (weights, b_avg as f32)
+        } else {
+            (v.iter().map(|vj| (scale * vj) as f32).collect(), b as f32)
+        };
+        SgdClassifier {
+            weights,
+            bias,
+            config,
+        }
+    }
+
+    /// The raw decision margin (distance from the separating hyperplane).
+    pub fn decision(&self, x: &SparseVec) -> f32 {
+        x.dot(&self.weights) + self.bias
+    }
+
+    /// Hard classification.
+    pub fn predict(&self, x: &SparseVec) -> bool {
+        self.decision(x) > 0.0
+    }
+
+    /// Probability of the positive class (sigmoid of the margin; calibrated
+    /// only for [`Loss::Log`]).
+    pub fn predict_proba(&self, x: &SparseVec) -> f32 {
+        let m = self.decision(x) as f64;
+        (1.0 / (1.0 + (-m).exp())) as f32
+    }
+
+    /// Number of features the model was trained with.
+    pub fn n_features(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The trained weight vector.
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// The trained intercept.
+    pub fn bias(&self) -> f32 {
+        self.bias
+    }
+
+    /// Largest-magnitude positive-class features, for interpretability.
+    pub fn top_features(&self, k: usize) -> Vec<(u32, f32)> {
+        let mut idx: Vec<(u32, f32)> = self
+            .weights
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (i as u32, *w))
+            .collect();
+        idx.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        idx.truncate(k);
+        idx
+    }
+}
+
+/// Fold the lazy scale back into `v`, keeping the averaging bookkeeping
+/// consistent (every feature is synced first so pending sums use the old
+/// `v`, then the representation is renormalized to `scale = 1`).
+fn fold_scale(
+    v: &mut [f64],
+    scale: &mut f64,
+    average: bool,
+    acc: &mut [f64],
+    q_sync: &mut [f64],
+    q: f64,
+) {
+    if average {
+        for ((aj, qj), vj) in acc.iter_mut().zip(q_sync.iter_mut()).zip(v.iter()) {
+            *aj += *vj * (q - *qj);
+            *qj = q;
+        }
+    }
+    for vj in v.iter_mut() {
+        *vj *= *scale;
+    }
+    *scale = 1.0;
+}
+
+/// A bagging ensemble of [`SgdClassifier`]s trained with different shuffle
+/// seeds; prediction averages member probabilities.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SgdEnsemble {
+    members: Vec<SgdClassifier>,
+}
+
+impl SgdEnsemble {
+    /// Train `n_members` classifiers with derived seeds, one std thread per
+    /// member. Each member's seed is derived from its index alone, so the
+    /// result is bit-identical to [`SgdEnsemble::fit_serial`].
+    pub fn fit(
+        xs: &[SparseVec],
+        ys: &[bool],
+        n_features: usize,
+        config: SgdConfig,
+        seed: WorldSeed,
+        n_members: usize,
+    ) -> SgdEnsemble {
+        if n_members <= 1 {
+            return Self::fit_serial(xs, ys, n_features, config, seed, n_members);
+        }
+        let members = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n_members)
+                .map(|i| {
+                    let config = config.clone();
+                    let member_seed = seed.derive_index("sgd-member", i as u64);
+                    s.spawn(move || SgdClassifier::fit(xs, ys, n_features, config, member_seed))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sgd member training panicked"))
+                .collect()
+        });
+        SgdEnsemble { members }
+    }
+
+    /// Train `n_members` classifiers with derived seeds on the calling
+    /// thread (the pre-parallel code path, still used for single members
+    /// and as the determinism oracle for [`SgdEnsemble::fit`]).
+    pub fn fit_serial(
+        xs: &[SparseVec],
+        ys: &[bool],
+        n_features: usize,
+        config: SgdConfig,
+        seed: WorldSeed,
+        n_members: usize,
+    ) -> SgdEnsemble {
+        let members = (0..n_members)
+            .map(|i| {
+                SgdClassifier::fit(
+                    xs,
+                    ys,
+                    n_features,
+                    config.clone(),
+                    seed.derive_index("sgd-member", i as u64),
+                )
+            })
+            .collect();
+        SgdEnsemble { members }
+    }
+
+    /// Mean member probability.
+    pub fn predict_proba(&self, x: &SparseVec) -> f32 {
+        if self.members.is_empty() {
+            return 0.5;
+        }
+        self.members.iter().map(|m| m.predict_proba(x)).sum::<f32>() / self.members.len() as f32
+    }
+
+    /// Hard classification at the 0.5 threshold.
+    pub fn predict(&self, x: &SparseVec) -> bool {
+        self.predict_proba(x) > 0.5
+    }
+
+    /// The trained members.
+    pub fn members(&self) -> &[SgdClassifier] {
+        &self.members
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the ensemble has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// The pre-optimization dense SGD trainer, retained verbatim as a
+/// differential oracle for the lazy-scaled implementation and as the
+/// "before" arm of the `textml` benchmark. Per-sample cost is
+/// O(n_features): the L2 shrink and the averaging update both walk the
+/// whole weight vector.
+#[cfg(any(test, feature = "dense-ref"))]
+pub mod dense_ref {
+    use super::{Loss, SgdClassifier, SgdConfig};
+    use crate::vectorize::SparseVec;
+    use asdb_model::WorldSeed;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    /// Train with dense per-sample shrink and averaging (the original
+    /// implementation of [`SgdClassifier::fit`]).
+    pub fn fit_dense(
         xs: &[SparseVec],
         ys: &[bool],
         n_features: usize,
@@ -84,7 +405,6 @@ impl SgdClassifier {
         let mut rng = StdRng::seed_from_u64(seed.value());
         let mut order: Vec<usize> = (0..xs.len()).collect();
         let mut t: u64 = 1;
-        // "optimal" schedule t0, approximating scikit-learn's heuristic.
         let t0 = 1.0 / (config.alpha.max(1e-8) as f64);
 
         for _ in 0..config.epochs {
@@ -94,7 +414,6 @@ impl SgdClassifier {
                 let y = if ys[i] { 1.0f32 } else { -1.0 };
                 let eta = (1.0 / (config.alpha as f64 * (t0 + t as f64))) as f32;
                 let margin = x.dot(&w) + b;
-                // L2 shrink (applied multiplicatively, leaving bias alone).
                 let shrink = 1.0 - eta * config.alpha;
                 if shrink > 0.0 {
                     for wi in &mut w {
@@ -103,7 +422,6 @@ impl SgdClassifier {
                 }
                 let dloss = match config.loss {
                     Loss::Log => {
-                        // d/dmargin of log(1 + exp(-y*m)) = -y * sigma(-y*m)
                         let z = (-y * margin) as f64;
                         let s = 1.0 / (1.0 + (-z).exp());
                         (-y as f64 * s) as f32
@@ -146,101 +464,12 @@ impl SgdClassifier {
             config,
         }
     }
-
-    /// The raw decision margin (distance from the separating hyperplane).
-    pub fn decision(&self, x: &SparseVec) -> f32 {
-        x.dot(&self.weights) + self.bias
-    }
-
-    /// Hard classification.
-    pub fn predict(&self, x: &SparseVec) -> bool {
-        self.decision(x) > 0.0
-    }
-
-    /// Probability of the positive class (sigmoid of the margin; calibrated
-    /// only for [`Loss::Log`]).
-    pub fn predict_proba(&self, x: &SparseVec) -> f32 {
-        let m = self.decision(x) as f64;
-        (1.0 / (1.0 + (-m).exp())) as f32
-    }
-
-    /// Number of features the model was trained with.
-    pub fn n_features(&self) -> usize {
-        self.weights.len()
-    }
-
-    /// Largest-magnitude positive-class features, for interpretability.
-    pub fn top_features(&self, k: usize) -> Vec<(u32, f32)> {
-        let mut idx: Vec<(u32, f32)> = self
-            .weights
-            .iter()
-            .enumerate()
-            .map(|(i, w)| (i as u32, *w))
-            .collect();
-        idx.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-        idx.truncate(k);
-        idx
-    }
-}
-
-/// A bagging ensemble of [`SgdClassifier`]s trained with different shuffle
-/// seeds; prediction averages member probabilities.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct SgdEnsemble {
-    members: Vec<SgdClassifier>,
-}
-
-impl SgdEnsemble {
-    /// Train `n_members` classifiers with derived seeds.
-    pub fn fit(
-        xs: &[SparseVec],
-        ys: &[bool],
-        n_features: usize,
-        config: SgdConfig,
-        seed: WorldSeed,
-        n_members: usize,
-    ) -> SgdEnsemble {
-        let members = (0..n_members)
-            .map(|i| {
-                SgdClassifier::fit(
-                    xs,
-                    ys,
-                    n_features,
-                    config.clone(),
-                    seed.derive_index("sgd-member", i as u64),
-                )
-            })
-            .collect();
-        SgdEnsemble { members }
-    }
-
-    /// Mean member probability.
-    pub fn predict_proba(&self, x: &SparseVec) -> f32 {
-        if self.members.is_empty() {
-            return 0.5;
-        }
-        self.members.iter().map(|m| m.predict_proba(x)).sum::<f32>() / self.members.len() as f32
-    }
-
-    /// Hard classification at the 0.5 threshold.
-    pub fn predict(&self, x: &SparseVec) -> bool {
-        self.predict_proba(x) > 0.5
-    }
-
-    /// Number of members.
-    pub fn len(&self) -> usize {
-        self.members.len()
-    }
-
-    /// Whether the ensemble has no members.
-    pub fn is_empty(&self) -> bool {
-        self.members.is_empty()
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     /// Linearly separable toy data: positive docs use features {0,1},
     /// negative docs use features {2,3}.
@@ -307,8 +536,8 @@ mod tests {
         let (xs, ys) = toy();
         let a = SgdClassifier::fit(&xs, &ys, 8, SgdConfig::default(), WorldSeed::new(7));
         let b = SgdClassifier::fit(&xs, &ys, 8, SgdConfig::default(), WorldSeed::new(7));
-        let x = SparseVec::from_pairs(vec![(0, 1.0)]);
-        assert_eq!(a.decision(&x), b.decision(&x));
+        assert_eq!(a.weights(), b.weights());
+        assert_eq!(a.bias(), b.bias());
     }
 
     #[test]
@@ -351,5 +580,128 @@ mod tests {
         let x = SparseVec::from_pairs(vec![(0, 1.0)]);
         assert_eq!(clf.decision(&x), 0.0);
         assert!(!clf.predict(&x));
+    }
+
+    // ---- differential tests against the retained dense reference ----
+
+    fn assert_matches_dense(cfg: SgdConfig, seed: u64, tol: f32) {
+        let (xs, ys) = toy();
+        let fast = SgdClassifier::fit(&xs, &ys, 8, cfg.clone(), WorldSeed::new(seed));
+        let slow = dense_ref::fit_dense(&xs, &ys, 8, cfg.clone(), WorldSeed::new(seed));
+        for (j, (a, b)) in fast.weights().iter().zip(slow.weights()).enumerate() {
+            assert!(
+                (a - b).abs() <= tol,
+                "weight {j}: lazy {a} vs dense {b} ({cfg:?}, seed {seed})"
+            );
+        }
+        assert!(
+            (fast.bias() - slow.bias()).abs() <= tol,
+            "bias: lazy {} vs dense {} ({cfg:?}, seed {seed})",
+            fast.bias(),
+            slow.bias()
+        );
+    }
+
+    #[test]
+    fn lazy_matches_dense_over_config_grid() {
+        for loss in [Loss::Log, Loss::Hinge] {
+            for alpha in [1e-4f32, 1e-2, 1e-1] {
+                for epochs in [1usize, 3, 7] {
+                    for average in [false, true] {
+                        let cfg = SgdConfig {
+                            loss,
+                            alpha,
+                            epochs,
+                            average,
+                        };
+                        assert_matches_dense(cfg, 11, 1e-4);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_matches_dense_at_default_config() {
+        assert_matches_dense(SgdConfig::default(), 42, 1e-4);
+    }
+
+    #[test]
+    fn scale_fold_is_transparent() {
+        // Large alpha makes the shrink aggressive enough that the lazy
+        // scale decays fast; the fold must not perturb the result.
+        let cfg = SgdConfig {
+            loss: Loss::Log,
+            alpha: 0.5,
+            epochs: 10,
+            average: true,
+        };
+        assert_matches_dense(cfg, 3, 1e-4);
+    }
+
+    #[test]
+    fn parallel_ensemble_is_bit_identical_to_serial() {
+        let (xs, ys) = toy();
+        let par = SgdEnsemble::fit(&xs, &ys, 8, SgdConfig::default(), WorldSeed::new(9), 5);
+        let ser = SgdEnsemble::fit_serial(&xs, &ys, 8, SgdConfig::default(), WorldSeed::new(9), 5);
+        assert_eq!(par.len(), ser.len());
+        for (a, b) in par.members().iter().zip(ser.members()) {
+            assert_eq!(a.weights(), b.weights());
+            assert_eq!(a.bias(), b.bias());
+        }
+    }
+
+    proptest! {
+        /// The lazy-scaled trainer matches the dense reference to 1e-4 per
+        /// weight across a random grid of (loss, alpha, epochs, average)
+        /// configs, seeds, and sparse data.
+        #[test]
+        fn lazy_matches_dense_proptest(
+            hinge in any::<bool>(),
+            alpha_exp in 1u32..5,
+            epochs in 1usize..7,
+            average in any::<bool>(),
+            seed in 0u64..64,
+            raw in proptest::collection::vec(
+                (proptest::collection::vec((0u32..12, 1u32..5), 1..6), any::<bool>()),
+                2..24,
+            ),
+        ) {
+            let cfg = SgdConfig {
+                loss: if hinge { Loss::Hinge } else { Loss::Log },
+                alpha: 10f32.powi(-(alpha_exp as i32)),
+                epochs,
+                average,
+            };
+            // Coarse quarter-integer values keep margins far from the
+            // hinge's y·m = 1 boundary, so f32-vs-f64 rounding cannot flip
+            // the subgradient branch.
+            let xs: Vec<SparseVec> = raw
+                .iter()
+                .map(|(pairs, _)| {
+                    SparseVec::from_pairs(
+                        pairs.iter().map(|(i, q)| (*i, *q as f32 * 0.25)).collect(),
+                    )
+                })
+                .collect();
+            let ys: Vec<bool> = raw.iter().map(|(_, y)| *y).collect();
+            let fast = SgdClassifier::fit(&xs, &ys, 12, cfg.clone(), WorldSeed::new(seed));
+            let slow = dense_ref::fit_dense(&xs, &ys, 12, cfg, WorldSeed::new(seed));
+            for (a, b) in fast.weights().iter().zip(slow.weights()) {
+                prop_assert!((a - b).abs() <= 1e-4, "lazy {a} vs dense {b}");
+            }
+            prop_assert!((fast.bias() - slow.bias()).abs() <= 1e-4);
+        }
+
+        /// Refitting with the same seed is exactly reproducible.
+        #[test]
+        fn fit_is_exactly_deterministic(seed in 0u64..256, average in any::<bool>()) {
+            let (xs, ys) = toy();
+            let cfg = SgdConfig { average, epochs: 3, ..SgdConfig::default() };
+            let a = SgdClassifier::fit(&xs, &ys, 8, cfg.clone(), WorldSeed::new(seed));
+            let b = SgdClassifier::fit(&xs, &ys, 8, cfg, WorldSeed::new(seed));
+            prop_assert_eq!(a.weights(), b.weights());
+            prop_assert_eq!(a.bias(), b.bias());
+        }
     }
 }

@@ -12,33 +12,68 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TfidfTransformer {
     idf: Vec<f32>,
+    /// The maximum fitted IDF (== the df-0 smoothed IDF), cached at fit
+    /// time so `transform` does not fold over every IDF per document.
+    max_idf: f32,
 }
 
 impl TfidfTransformer {
     /// Fit IDF weights from count vectors.
     pub fn fit(vectors: &[SparseVec]) -> TfidfTransformer {
-        let n_features = vectors
-            .iter()
-            .flat_map(|v| v.iter().map(|(i, _)| i as usize + 1))
-            .max()
-            .unwrap_or(0);
-        let mut df = vec![0usize; n_features];
+        let mut df: Vec<usize> = Vec::new();
         for v in vectors {
             for (i, _) in v.iter() {
-                df[i as usize] += 1;
+                let i = i as usize;
+                if i >= df.len() {
+                    df.resize(i + 1, 0);
+                }
+                df[i] += 1;
             }
         }
         let n = vectors.len() as f64;
-        let idf = df
+        let idf: Vec<f32> = df
             .into_iter()
             .map(|d| (((1.0 + n) / (1.0 + d as f64)).ln() + 1.0) as f32)
             .collect();
-        TfidfTransformer { idf }
+        let max_idf = idf.iter().copied().fold(1.0f32, f32::max);
+        TfidfTransformer { idf, max_idf }
     }
 
     /// Transform a count vector into an L2-normalized TF-IDF vector.
     /// Features unseen at fit time get the maximum IDF (df = 0 smoothing).
+    /// Single pass over the entries plus the normalization scale.
     pub fn transform(&self, v: &SparseVec) -> SparseVec {
+        let default_idf = if self.idf.is_empty() {
+            1.0
+        } else {
+            self.max_idf
+        };
+        let mut sumsq = 0.0f32;
+        let entries: Vec<(u32, f32)> = v
+            .iter()
+            .filter_map(|(i, tf)| {
+                let idf = self.idf.get(i as usize).copied().unwrap_or(default_idf);
+                let w = tf * idf;
+                if w == 0.0 {
+                    return None;
+                }
+                sumsq += w * w;
+                Some((i, w))
+            })
+            .collect();
+        let mut out = SparseVec::from_sorted_counts(entries);
+        let norm = sumsq.sqrt();
+        if norm > 0.0 {
+            out.scale(1.0 / norm);
+        }
+        out
+    }
+
+    /// The pre-optimization transform (per-document max-IDF fold, three
+    /// passes over the entries), retained as the differential oracle and
+    /// benchmark "before" arm.
+    #[cfg(any(test, feature = "dense-ref"))]
+    pub fn transform_naive(&self, v: &SparseVec) -> SparseVec {
         let default_idf = if self.idf.is_empty() {
             1.0
         } else {
@@ -134,6 +169,25 @@ mod tests {
         assert_eq!(x.nnz(), 1);
     }
 
+    #[test]
+    fn cached_max_idf_matches_fold() {
+        let docs = vec![
+            counts(&[(0, 1.0), (3, 1.0)]),
+            counts(&[(0, 1.0)]),
+            counts(&[(2, 2.0)]),
+        ];
+        let t = TfidfTransformer::fit(&docs);
+        let folded = (0..t.n_features() as u32)
+            .filter_map(|i| t.idf(i))
+            .fold(1.0f32, f32::max);
+        // The cached value feeds unseen features: transform of an unseen
+        // feature must weight it exactly like the naive fold would.
+        let x = t.transform(&counts(&[(9, 1.0)]));
+        let y = t.transform_naive(&counts(&[(9, 1.0)]));
+        assert_eq!(x, y);
+        assert!(folded > 1.0);
+    }
+
     proptest! {
         #[test]
         fn transform_norm_is_unit_or_zero(
@@ -144,6 +198,21 @@ mod tests {
             let x = t.transform(&SparseVec::from_pairs(pairs));
             let n = x.norm();
             prop_assert!(n == 0.0 || (n - 1.0).abs() < 1e-4);
+        }
+
+        /// The single-pass transform agrees with the naive reference.
+        #[test]
+        fn transform_matches_naive(
+            pairs in proptest::collection::vec((0u32..30, -4.0f32..4.0), 0..20)
+        ) {
+            let docs = vec![
+                counts(&[(0, 1.0), (5, 1.0)]),
+                counts(&[(1, 1.0), (2, 1.0)]),
+                counts(&[(2, 3.0)]),
+            ];
+            let t = TfidfTransformer::fit(&docs);
+            let x = SparseVec::from_pairs(pairs);
+            prop_assert_eq!(t.transform(&x), t.transform_naive(&x));
         }
     }
 }

@@ -1,4 +1,18 @@
 //! Word tokenization and stopword filtering.
+//!
+//! Two zero-copy entry points back the hot paths:
+//!
+//! * [`tokens`] — an iterator of [`Cow<str>`] slices. Tokens that are
+//!   already lower-case ASCII (the overwhelmingly common case for the
+//!   web-page text the scraper produces) are borrowed straight from the
+//!   input; only tokens that actually need case-folding allocate.
+//! * [`for_each_token`] — internal iteration with a caller-provided
+//!   reusable lowercase buffer, so a tight loop (vocabulary fitting,
+//!   count vectorization) performs **no** per-token allocation at all.
+//!
+//! The legacy [`tokenize`] (`Vec<String>`) remains as a thin wrapper.
+
+use std::borrow::Cow;
 
 /// English stopwords filtered before vectorization. A compact list tuned
 /// for the web-page text the scraper produces; matching scikit-learn's
@@ -21,25 +35,69 @@ pub fn is_stopword(token: &str) -> bool {
     STOPWORDS.binary_search(&token).is_ok()
 }
 
-/// Tokenize text into lower-cased alphanumeric words of length ≥ 2,
-/// dropping stopwords and pure numbers. This mirrors scikit-learn's
-/// `CountVectorizer` default token pattern (`\w\w+`) plus stopword removal.
-pub fn tokenize(text: &str) -> Vec<String> {
-    let mut out = Vec::new();
+/// Whether a raw word can be passed through without case-folding: pure
+/// ASCII with no upper-case letters lowercases to itself. (Non-ASCII text
+/// takes the allocating path so locale rules like Σ → ς stay exact.)
+#[inline]
+fn is_lowercase_ascii(raw: &str) -> bool {
+    raw.bytes().all(|b| b.is_ascii() && !b.is_ascii_uppercase())
+}
+
+/// Post-casefold filters shared by every entry point: drop pure numbers
+/// and stopwords.
+#[inline]
+fn keep_token(tok: &str) -> bool {
+    !tok.bytes().all(|b| b.is_ascii_digit()) && !is_stopword(tok)
+}
+
+/// Iterate tokens as borrowed slices where possible. Yields lower-cased
+/// alphanumeric words of length ≥ 2, dropping stopwords and pure numbers —
+/// scikit-learn's `CountVectorizer` default token pattern (`\w\w+`) plus
+/// stopword removal. Already-lowercase ASCII words are `Cow::Borrowed`.
+pub fn tokens(text: &str) -> impl Iterator<Item = Cow<'_, str>> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter_map(|raw| {
+            if raw.len() < 2 {
+                return None;
+            }
+            let tok: Cow<str> = if is_lowercase_ascii(raw) {
+                Cow::Borrowed(raw)
+            } else {
+                Cow::Owned(raw.to_lowercase())
+            };
+            keep_token(&tok).then_some(tok)
+        })
+}
+
+/// Internal-iteration tokenizer with a reusable lowercase scratch buffer:
+/// calls `f` once per surviving token with a `&str` that is either a slice
+/// of `text` or the contents of `buf`. Performs zero allocations once
+/// `buf` has grown to the longest cased token.
+pub fn for_each_token(text: &str, buf: &mut String, mut f: impl FnMut(&str)) {
     for raw in text.split(|c: char| !c.is_alphanumeric()) {
         if raw.len() < 2 {
             continue;
         }
-        let tok = raw.to_lowercase();
-        if tok.bytes().all(|b| b.is_ascii_digit()) {
-            continue;
+        let tok: &str = if is_lowercase_ascii(raw) {
+            raw
+        } else {
+            buf.clear();
+            // `str::to_lowercase` (not per-char folding) so multi-char and
+            // context-sensitive lowercasings match the legacy tokenizer
+            // exactly; the allocation it makes is the rare cased path.
+            buf.push_str(&raw.to_lowercase());
+            buf
+        };
+        if keep_token(tok) {
+            f(tok);
         }
-        if is_stopword(&tok) {
-            continue;
-        }
-        out.push(tok);
     }
-    out
+}
+
+/// Tokenize text into owned lower-cased words (legacy convenience wrapper
+/// around [`tokens`]).
+pub fn tokenize(text: &str) -> Vec<String> {
+    tokens(text).map(Cow::into_owned).collect()
 }
 
 #[cfg(test)]
@@ -81,6 +139,33 @@ mod tests {
         assert!(tokenize("  \t\n ").is_empty());
     }
 
+    #[test]
+    fn lowercase_ascii_tokens_are_borrowed() {
+        let text = "fiber Internet provider";
+        let kinds: Vec<bool> = tokens(text)
+            .map(|t| matches!(t, Cow::Borrowed(_)))
+            .collect();
+        // "fiber" and "provider" borrow; "Internet" needs folding.
+        assert_eq!(kinds, vec![true, false, true]);
+    }
+
+    #[test]
+    fn for_each_token_matches_tokenize() {
+        let samples = [
+            "We provide the BEST fiber internet!",
+            "Schnelles Internet für Zuhause",
+            "24 7 support at x ipv6 24x7",
+            "ΣΊΣΥΦΟΣ carries the stone", // final-sigma casefold
+            "",
+        ];
+        let mut buf = String::new();
+        for text in samples {
+            let mut via_callback = Vec::new();
+            for_each_token(text, &mut buf, |t| via_callback.push(t.to_owned()));
+            assert_eq!(via_callback, tokenize(text), "{text:?}");
+        }
+    }
+
     proptest! {
         #[test]
         fn never_panics_and_tokens_are_clean(s in ".{0,400}") {
@@ -89,6 +174,18 @@ mod tests {
                 prop_assert!(!is_stopword(&t));
                 prop_assert_eq!(t.clone(), t.to_lowercase());
             }
+        }
+
+        /// All three entry points agree on arbitrary input.
+        #[test]
+        fn entry_points_agree(s in ".{0,400}") {
+            let owned = tokenize(&s);
+            let via_iter: Vec<String> = tokens(&s).map(|c| c.into_owned()).collect();
+            let mut buf = String::new();
+            let mut via_cb = Vec::new();
+            for_each_token(&s, &mut buf, |t| via_cb.push(t.to_owned()));
+            prop_assert_eq!(&owned, &via_iter);
+            prop_assert_eq!(&owned, &via_cb);
         }
     }
 }

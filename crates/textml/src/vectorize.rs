@@ -1,7 +1,16 @@
 //! Vocabulary building and sparse count vectors.
+//!
+//! Both the fit and transform paths are allocation-lean: tokens are
+//! borrowed via [`crate::tokenize::for_each_token`]/[`crate::tokenize::tokens`]
+//! and looked up in the vocabulary by `&str`; a document's own `String` is
+//! only cloned the first time a token enters the statistics map during
+//! fitting. Count vectors are assembled index-ordered and handed to
+//! [`SparseVec::from_sorted_counts`], bypassing the pair sort of
+//! [`SparseVec::from_pairs`].
 
-use crate::tokenize::tokenize;
+use crate::tokenize::{for_each_token, tokens};
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::collections::HashMap;
 
 /// A sparse feature vector: sorted `(feature_index, value)` pairs.
@@ -11,17 +20,40 @@ pub struct SparseVec {
 }
 
 impl SparseVec {
-    /// Build from unsorted pairs; duplicate indices are summed.
+    /// Build from unsorted pairs; duplicate indices are summed and
+    /// zero-sum entries dropped. The input allocation is reused (compacted
+    /// in place), so no spare capacity is carried by long-lived vectors.
     pub fn from_pairs(mut pairs: Vec<(u32, f32)>) -> SparseVec {
         pairs.sort_unstable_by_key(|(i, _)| *i);
-        let mut entries: Vec<(u32, f32)> = Vec::with_capacity(pairs.len());
-        for (i, v) in pairs {
-            match entries.last_mut() {
-                Some((li, lv)) if *li == i => *lv += v,
-                _ => entries.push((i, v)),
+        let mut w = 0usize;
+        for r in 0..pairs.len() {
+            let (i, v) = pairs[r];
+            if w > 0 && pairs[w - 1].0 == i {
+                pairs[w - 1].1 += v;
+            } else {
+                pairs[w] = (i, v);
+                w += 1;
             }
         }
-        entries.retain(|(_, v)| *v != 0.0);
+        pairs.truncate(w);
+        pairs.retain(|(_, v)| *v != 0.0);
+        SparseVec { entries: pairs }
+    }
+
+    /// Build directly from entries that are already strictly
+    /// index-ascending with non-zero values — the fast path used by
+    /// [`CountVectorizer::transform`], which produces counts index-ordered
+    /// from the vocabulary map and therefore needs neither the sort nor
+    /// the duplicate merge of [`SparseVec::from_pairs`].
+    pub fn from_sorted_counts(entries: Vec<(u32, f32)>) -> SparseVec {
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "entries must be strictly index-ascending"
+        );
+        debug_assert!(
+            entries.iter().all(|(_, v)| *v != 0.0),
+            "entries must be non-zero"
+        );
         SparseVec { entries }
     }
 
@@ -41,12 +73,28 @@ impl SparseVec {
     }
 
     /// Dot product against a dense weight vector. Indices beyond the dense
-    /// length contribute nothing (allows vocabulary growth tolerance).
+    /// length contribute nothing (allows vocabulary growth tolerance):
+    /// entries are sorted, so one binary partition finds the cutoff and the
+    /// in-range prefix is summed branch-free.
     pub fn dot(&self, dense: &[f32]) -> f32 {
-        self.entries
+        let cut = self
+            .entries
+            .partition_point(|(i, _)| (*i as usize) < dense.len());
+        self.entries[..cut]
             .iter()
-            .filter(|(i, _)| (*i as usize) < dense.len())
             .map(|(i, v)| dense[*i as usize] * v)
+            .sum()
+    }
+
+    /// [`SparseVec::dot`] against an `f64` accumulator vector (the lazy
+    /// SGD trainer keeps its weights in double precision).
+    pub fn dot64(&self, dense: &[f64]) -> f64 {
+        let cut = self
+            .entries
+            .partition_point(|(i, _)| (*i as usize) < dense.len());
+        self.entries[..cut]
+            .iter()
+            .map(|(i, v)| dense[*i as usize] * *v as f64)
             .sum()
     }
 
@@ -96,6 +144,17 @@ impl Default for VectorizerConfig {
     }
 }
 
+/// Per-token corpus statistics gathered in a single map during fitting.
+/// `last_doc` is a last-seen-doc marker (doc index + 1), which turns
+/// document-frequency dedup into one comparison instead of a scan over
+/// the document's previously seen tokens.
+#[derive(Debug, Clone, Copy)]
+struct TokenStats {
+    coll: usize,
+    df: usize,
+    last_doc: usize,
+}
+
 /// Converts raw text into sparse word-count vectors over a fitted
 /// vocabulary — the "Count Vectorizer" box of Figure 3.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -114,39 +173,65 @@ impl CountVectorizer {
     }
 
     /// Fit the vocabulary on a corpus and return the transformed corpus.
+    /// Tokenizes each document exactly once: the token stream is kept
+    /// (mostly borrowed) and replayed for the transform pass.
     pub fn fit_transform(&mut self, docs: &[&str]) -> Vec<SparseVec> {
-        self.fit(docs);
-        docs.iter().map(|d| self.transform(d)).collect()
+        let tokenized: Vec<Vec<Cow<str>>> = docs.iter().map(|d| tokens(d).collect()).collect();
+        let mut stats: HashMap<String, TokenStats> = HashMap::new();
+        for (d, toks) in tokenized.iter().enumerate() {
+            for t in toks {
+                Self::bump(&mut stats, t.as_ref(), d + 1);
+            }
+        }
+        self.select_vocab(stats, docs.len());
+        tokenized
+            .iter()
+            .map(|toks| self.vectorize_tokens(toks.iter().map(|c| c.as_ref())))
+            .collect()
     }
 
     /// Fit the vocabulary: tokenize every document, apply document-frequency
     /// filters, keep the `max_features` most frequent tokens, and assign
     /// indices in deterministic (frequency-desc, then lexicographic) order.
     pub fn fit(&mut self, docs: &[&str]) {
-        let mut doc_freq: HashMap<String, usize> = HashMap::new();
-        let mut coll_freq: HashMap<String, usize> = HashMap::new();
-        for d in docs {
-            let toks = tokenize(d);
-            let mut seen: Vec<&String> = Vec::new();
-            for t in &toks {
-                *coll_freq.entry(t.clone()).or_insert(0) += 1;
-                if !seen.contains(&t) {
-                    seen.push(t);
-                }
-            }
-            for t in seen {
-                *doc_freq.entry(t.clone()).or_insert(0) += 1;
-            }
+        let mut stats: HashMap<String, TokenStats> = HashMap::new();
+        let mut buf = String::new();
+        for (d, doc) in docs.iter().enumerate() {
+            for_each_token(doc, &mut buf, |t| Self::bump(&mut stats, t, d + 1));
         }
-        let n_docs = docs.len().max(1);
+        self.select_vocab(stats, docs.len());
+    }
+
+    /// Count one token occurrence in document `marker` (doc index + 1, so
+    /// zero never collides). Allocates the key only on first sight.
+    fn bump(stats: &mut HashMap<String, TokenStats>, t: &str, marker: usize) {
+        if let Some(s) = stats.get_mut(t) {
+            s.coll += 1;
+            if s.last_doc != marker {
+                s.df += 1;
+                s.last_doc = marker;
+            }
+        } else {
+            stats.insert(
+                t.to_owned(),
+                TokenStats {
+                    coll: 1,
+                    df: 1,
+                    last_doc: marker,
+                },
+            );
+        }
+    }
+
+    /// Apply the df filters and frequency ranking to the gathered stats.
+    fn select_vocab(&mut self, stats: HashMap<String, TokenStats>, n_docs: usize) {
+        let n_docs = n_docs.max(1);
         // Proportional max_df truncates like scikit-learn's int(ratio * n).
         let max_df = (self.config.max_df_ratio * n_docs as f64) as usize;
-        let mut candidates: Vec<(String, usize)> = coll_freq
+        let mut candidates: Vec<(String, usize)> = stats
             .into_iter()
-            .filter(|(t, _)| {
-                let df = doc_freq.get(t).copied().unwrap_or(0);
-                df >= self.config.min_df && df <= max_df
-            })
+            .filter(|(_, s)| s.df >= self.config.min_df && s.df <= max_df)
+            .map(|(t, s)| (t, s.coll))
             .collect();
         candidates.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         candidates.truncate(self.config.max_features);
@@ -158,9 +243,53 @@ impl CountVectorizer {
     }
 
     /// Transform one document into a count vector over the fitted
-    /// vocabulary. Unknown tokens are ignored.
+    /// vocabulary. Unknown tokens are ignored. Tokens are borrowed (one
+    /// reusable case-fold buffer), looked up by `&str`, and counts are
+    /// assembled index-ordered into [`SparseVec::from_sorted_counts`].
     pub fn transform(&self, doc: &str) -> SparseVec {
-        let pairs: Vec<(u32, f32)> = tokenize(doc)
+        let mut buf = String::new();
+        let mut idxs: Vec<u32> = Vec::new();
+        for_each_token(doc, &mut buf, |t| {
+            if let Some(&i) = self.vocab.get(t) {
+                idxs.push(i);
+            }
+        });
+        Self::counts_from_indices(idxs)
+    }
+
+    /// Transform an already-tokenized document (the replay half of
+    /// [`CountVectorizer::fit_transform`]).
+    fn vectorize_tokens<'a>(&self, toks: impl Iterator<Item = &'a str>) -> SparseVec {
+        let mut idxs: Vec<u32> = Vec::new();
+        for t in toks {
+            if let Some(&i) = self.vocab.get(t) {
+                idxs.push(i);
+            }
+        }
+        Self::counts_from_indices(idxs)
+    }
+
+    /// Turn a bag of feature indices into a sorted count vector: sorting
+    /// the bare `u32`s is the only ordering work, and the run-length pass
+    /// feeds [`SparseVec::from_sorted_counts`] directly.
+    fn counts_from_indices(mut idxs: Vec<u32>) -> SparseVec {
+        idxs.sort_unstable();
+        let mut entries: Vec<(u32, f32)> = Vec::with_capacity(idxs.len());
+        for i in idxs {
+            match entries.last_mut() {
+                Some((li, c)) if *li == i => *c += 1.0,
+                _ => entries.push((i, 1.0)),
+            }
+        }
+        SparseVec::from_sorted_counts(entries)
+    }
+
+    /// The pre-optimization transform (owned token `Vec<String>`, per-token
+    /// `String` lookup, pair sort via [`SparseVec::from_pairs`]), retained
+    /// as the differential oracle and benchmark "before" arm.
+    #[cfg(any(test, feature = "dense-ref"))]
+    pub fn transform_naive(&self, doc: &str) -> SparseVec {
+        let pairs: Vec<(u32, f32)> = crate::tokenize::tokenize(doc)
             .into_iter()
             .filter_map(|t| self.vocab.get(&t).map(|&i| (i, 1.0)))
             .collect();
@@ -192,10 +321,19 @@ mod tests {
     }
 
     #[test]
+    fn from_sorted_counts_is_from_pairs_on_sorted_input() {
+        let a = SparseVec::from_sorted_counts(vec![(1, 2.0), (3, 1.0), (9, 4.0)]);
+        let b = SparseVec::from_pairs(vec![(1, 2.0), (3, 1.0), (9, 4.0)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn dot_product() {
         let v = SparseVec::from_pairs(vec![(0, 2.0), (2, 3.0), (9, 1.0)]);
         let w = vec![1.0, 10.0, 0.5];
         assert!((v.dot(&w) - 3.5).abs() < 1e-6); // index 9 out of range → 0
+        assert!((v.dot64(&[1.0f64, 10.0, 0.5]) - 3.5).abs() < 1e-9);
+        assert_eq!(v.dot(&[]), 0.0);
     }
 
     #[test]
@@ -230,6 +368,43 @@ mod tests {
         let net = vz.index_of("network").unwrap();
         for x in &xs {
             assert!(x.iter().any(|(i, _)| i == net));
+        }
+    }
+
+    #[test]
+    fn fit_transform_matches_fit_then_transform() {
+        let docs = corpus();
+        let mut a = CountVectorizer::new(VectorizerConfig {
+            max_features: 100,
+            min_df: 1,
+            max_df_ratio: 1.0,
+        });
+        let xs = a.fit_transform(&docs);
+        let mut b = CountVectorizer::new(VectorizerConfig {
+            max_features: 100,
+            min_df: 1,
+            max_df_ratio: 1.0,
+        });
+        b.fit(&docs);
+        for (doc, x) in docs.iter().zip(&xs) {
+            assert_eq!(*x, b.transform(doc), "{doc}");
+        }
+    }
+
+    #[test]
+    fn transform_matches_naive_reference() {
+        let docs = corpus();
+        let mut vz = CountVectorizer::new(VectorizerConfig {
+            max_features: 100,
+            min_df: 1,
+            max_df_ratio: 1.0,
+        });
+        vz.fit(&docs);
+        for doc in docs
+            .iter()
+            .chain(["UPPER Case fiber Network!", "novel words only", ""].iter())
+        {
+            assert_eq!(vz.transform(doc), vz.transform_naive(doc), "{doc}");
         }
     }
 
@@ -271,6 +446,22 @@ mod tests {
     }
 
     #[test]
+    fn repeated_tokens_count_collection_frequency_once_per_occurrence() {
+        // "fiber fiber fiber" in one doc: coll = 3, df = 1.
+        let docs = vec!["fiber fiber fiber", "fiber cable"];
+        let mut vz = CountVectorizer::new(VectorizerConfig {
+            max_features: 100,
+            min_df: 2,
+            max_df_ratio: 1.0,
+        });
+        vz.fit(&docs);
+        assert!(vz.index_of("fiber").is_some());
+        assert!(vz.index_of("cable").is_none(), "df=1 token kept");
+        let x = vz.transform("fiber fiber");
+        assert_eq!(x.iter().next().map(|(_, c)| c), Some(2.0));
+    }
+
+    #[test]
     fn unknown_tokens_ignored_on_transform() {
         let docs = corpus();
         let mut vz = CountVectorizer::new(VectorizerConfig::default());
@@ -302,6 +493,35 @@ mod tests {
             for (_, val) in e {
                 prop_assert!(val != 0.0);
             }
+        }
+
+        /// The zero-copy transform agrees with the naive reference on
+        /// arbitrary text against a fixed vocabulary.
+        #[test]
+        fn transform_matches_naive_proptest(doc in ".{0,200}") {
+            let docs = corpus();
+            let mut vz = CountVectorizer::new(VectorizerConfig {
+                max_features: 100,
+                min_df: 1,
+                max_df_ratio: 1.0,
+            });
+            vz.fit(&docs);
+            prop_assert_eq!(vz.transform(&doc), vz.transform_naive(&doc));
+        }
+
+        /// dot via partition matches a filtered fold for any dense length.
+        #[test]
+        fn dot_partition_matches_filter(
+            pairs in proptest::collection::vec((0u32..40, -2.0f32..2.0), 0..30),
+            dense in proptest::collection::vec(-2.0f32..2.0, 0..32),
+        ) {
+            let v = SparseVec::from_pairs(pairs);
+            let expect: f32 = v
+                .iter()
+                .filter(|(i, _)| (*i as usize) < dense.len())
+                .map(|(i, x)| dense[i as usize] * x)
+                .sum();
+            prop_assert!((v.dot(&dense) - expect).abs() <= 1e-5);
         }
     }
 }

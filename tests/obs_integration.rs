@@ -77,6 +77,34 @@ fn thread_count_changes_neither_results_nor_counters() {
 }
 
 #[test]
+fn ml_histogram_reconciles_with_ml_counters() {
+    // Perf baseline guard for the textml hot-path rewrite: the lazy-scaled
+    // SGD / zero-copy featurization must not change how often the ML stage
+    // is metered — exactly one `pipeline.ml` histogram sample per verdict,
+    // never zero, never double-recorded.
+    let (w, s) = build();
+    let records: Vec<_> = w.ases.iter().take(60).map(|r| r.parsed.clone()).collect();
+    let _ = classify_batch(&s, &records, 4);
+    let snap = s.metrics_snapshot();
+    let ml_count = snap.histograms["pipeline.ml"].count;
+    assert!(ml_count > 0, "the ML stage ran on none of {} ASes", 60);
+    assert_eq!(
+        ml_count,
+        snap.counter("ml.fired") + snap.counter("ml.abstained"),
+        "pipeline.ml must record exactly one sample per ML verdict"
+    );
+    // A repeat of the same deterministic batch adds exactly the same
+    // number of samples.
+    let _ = classify_batch(&s, &records, 4);
+    let snap2 = s.metrics_snapshot();
+    assert_eq!(snap2.histograms["pipeline.ml"].count, 2 * ml_count);
+    assert_eq!(
+        snap2.counter("ml.fired") + snap2.counter("ml.abstained"),
+        2 * ml_count
+    );
+}
+
+#[test]
 fn metrics_snapshot_roundtrips_through_serde() {
     let (w, s) = build();
     let records: Vec<_> = w.ases.iter().take(40).map(|r| r.parsed.clone()).collect();
