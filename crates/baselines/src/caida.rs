@@ -4,7 +4,7 @@
 //! categorize ASes into six categories (large and small ISP, IXP, customer,
 //! university, network information centers) with a reported 95% coverage
 //! and 78% accuracy. Until January 2021, CAIDA provided a dataset based on
-//! [this] methodology … which coarsely categorized ASes as
+//! \[this\] methodology … which coarsely categorized ASes as
 //! 'transit/access', 'enterprise', or 'content'."
 //!
 //! The classifier here is the same species: keyword scoring over the WHOIS

@@ -4,7 +4,7 @@
 
 use asdb_bench::bench_context;
 use asdb_core::batch::{classify_batch, classify_batch_cached_with, BatchConfig};
-use asdb_core::AsdbSystem;
+use asdb_core::{AsdbSystem, FanoutConfig};
 use asdb_entity::name_similarity;
 use asdb_rir::dump::{read_dump, write_dump};
 use asdb_rir::extract;
@@ -201,9 +201,40 @@ fn bench_throughput(c: &mut Criterion) {
         })
     });
 
+    // Source fan-out: concurrent scoped-thread stage-1/stage-3 calls vs
+    // the forced-sequential transport, same seed and world, single batch
+    // worker so only the per-record fan-out differs. Outcomes are
+    // bit-identical (asserted by tests/fanout_integration.rs); this arm
+    // measures what the concurrency buys (or costs) on the in-memory
+    // sources, where per-call work is microseconds and thread spawn
+    // overhead is the interesting number.
+    let fanout_conc = AsdbSystem::build(&ctx.world, ctx.seed.derive("bench-fanout"));
+    let fanout_seq = AsdbSystem::build(&ctx.world, ctx.seed.derive("bench-fanout")).with_transport(
+        FanoutConfig {
+            concurrent: false,
+            ..FanoutConfig::default()
+        },
+    );
+    group.throughput(Throughput::Elements(records.len() as u64));
+    group.bench_function("fanout_concurrent_64", |b| {
+        b.iter(|| {
+            for rec in &records {
+                black_box(fanout_conc.classify(rec));
+            }
+        })
+    });
+    group.bench_function("fanout_sequential_64", |b| {
+        b.iter(|| {
+            for rec in &records {
+                black_box(fanout_seq.classify(rec));
+            }
+        })
+    });
+
     group.finish();
 
     write_throughput_json(&ctx.system, &legacy, &records, &dup_records);
+    write_fanout_json(&fanout_conc, &fanout_seq, &records);
 }
 
 /// Median wall time of `runs` executions of `f`, in nanoseconds.
@@ -286,6 +317,31 @@ fn write_throughput_json(
         arms.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("could not write {path}: {e}");
+    }
+}
+
+/// Machine-readable fan-out-vs-sequential comparison, written to the
+/// workspace root as `BENCH_fanout.json` (same median-of-7 protocol as
+/// `BENCH_throughput.json`).
+fn write_fanout_json(conc: &AsdbSystem, seq: &AsdbSystem, records: &[asdb_rir::ParsedWhois]) {
+    const RUNS: usize = 7;
+    let conc_ns = median_ns(RUNS, || {
+        for rec in records {
+            black_box(conc.classify(rec));
+        }
+    });
+    let seq_ns = median_ns(RUNS, || {
+        for rec in records {
+            black_box(seq.classify(rec));
+        }
+    });
+    let json = format!(
+        "{{\n  \"bench\": \"throughput/fanout\",\n  \"records\": {}, \"runs_per_arm\": {RUNS},\n  \"arms\": [\n    {{\"name\": \"fanout_concurrent\", \"median_ns\": {conc_ns}}},\n    {{\"name\": \"fanout_sequential\", \"median_ns\": {seq_ns}}}\n  ]\n}}\n",
+        records.len(),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fanout.json");
     if let Err(e) = std::fs::write(path, json) {
         eprintln!("could not write {path}: {e}");
     }

@@ -9,11 +9,48 @@
 #![warn(missing_docs)]
 
 use asdb_core::batch::{classify_batch_cached_with, BatchConfig};
-use asdb_core::{dataset, AsdbSystem};
+use asdb_core::{dataset, AsdbSystem, FanoutConfig};
 use asdb_model::{Asn, WorldSeed};
+use asdb_sources::transport::FaultPlan;
 use asdb_worldgen::{World, WorldConfig};
 use std::fmt;
 use std::str::FromStr;
+use std::time::Duration;
+
+/// Source-transport tuning flags shared by the classify-style commands.
+/// All `None` (no flags given) keeps the system's default transparent
+/// transport.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TransportFlags {
+    /// `--fault-rate R`: injected fault probability per source call
+    /// (split evenly between errors and timeouts).
+    pub fault_rate: Option<f64>,
+    /// `--source-timeout-ms N`: per-attempt source deadline.
+    pub source_timeout_ms: Option<u64>,
+    /// `--retries N`: retries after the first attempt.
+    pub retries: Option<u32>,
+}
+
+impl TransportFlags {
+    /// The fan-out config these flags select, or `None` when no flag was
+    /// given (leave the system's default transport untouched).
+    pub fn fanout_config(&self) -> Option<FanoutConfig> {
+        if *self == TransportFlags::default() {
+            return None;
+        }
+        let mut cfg = FanoutConfig::default();
+        if let Some(r) = self.fault_rate {
+            cfg.faults = FaultPlan::uniform(r);
+        }
+        if let Some(ms) = self.source_timeout_ms {
+            cfg.transport.timeout = Duration::from_millis(ms.max(1));
+        }
+        if let Some(n) = self.retries {
+            cfg.transport.max_retries = n;
+        }
+        Some(cfg)
+    }
+}
 
 /// World scale selector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,6 +101,9 @@ pub enum Command {
         shards: Option<usize>,
         /// Optional path to dump the telemetry snapshot (JSON).
         metrics_out: Option<String>,
+        /// Source-transport tuning (`--fault-rate`, `--source-timeout-ms`,
+        /// `--retries`).
+        transport: TransportFlags,
     },
     /// `asdb lookup` — classify one AS and explain every pipeline step.
     Lookup {
@@ -75,6 +115,8 @@ pub enum Command {
         asn: Asn,
         /// Optional path to dump the telemetry snapshot (JSON).
         metrics_out: Option<String>,
+        /// Source-transport tuning.
+        transport: TransportFlags,
     },
     /// `asdb metrics` — classify a world and print the full telemetry
     /// report (stage counters, source hit rates, cache reuse, latency).
@@ -94,6 +136,8 @@ pub enum Command {
         dup: usize,
         /// Optional path to dump the telemetry snapshot (JSON).
         metrics_out: Option<String>,
+        /// Source-transport tuning.
+        transport: TransportFlags,
     },
     /// `asdb report` — regenerate the paper's tables and figures.
     Report {
@@ -126,9 +170,12 @@ USAGE:
   asdb generate [--scale small|standard] [--seed N] [--whois-out FILE]
   asdb classify [--scale small|standard] [--seed N] [--asn N]... [--out FILE] [--threads N]
                 [--chunk-size N] [--shards N] [--metrics FILE]
+                [--fault-rate R] [--source-timeout-ms N] [--retries N]
   asdb lookup   --asn N [--scale small|standard] [--seed N] [--metrics FILE]
+                [--fault-rate R] [--source-timeout-ms N] [--retries N]
   asdb metrics  [--scale small|standard] [--seed N] [--threads N] [--chunk-size N]
                 [--shards N] [--dup N] [--metrics FILE]
+                [--fault-rate R] [--source-timeout-ms N] [--retries N]
   asdb report   [--scale small|standard] [--seed N]
   asdb help
 
@@ -146,6 +193,14 @@ single-lock cache and --chunk-size ceil(records/threads) the legacy static
 split, for before/after comparisons. On classify-style commands,
 --metrics FILE writes the same data as a JSON registry snapshot after the
 run.
+
+Source transport: --fault-rate R injects deterministic, seed-reproducible
+network faults into every source call (R in [0,1], split evenly between
+errors and timeouts; per-source timeout/retry/breaker counters and the
+degraded-source record show the effect); --source-timeout-ms N sets the
+per-attempt source deadline and --retries N the retry budget after the
+first attempt. Without these flags the transport is transparent and labels
+are identical to the sequential pre-transport pipeline.
 ";
 
 impl Command {
@@ -164,6 +219,7 @@ impl Command {
         let mut chunk_size: Option<usize> = None;
         let mut shards: Option<usize> = None;
         let mut dup = 1usize;
+        let mut transport = TransportFlags::default();
 
         let mut i = 0;
         let value = |i: &mut usize, flag: &str| -> Result<String, CliError> {
@@ -228,6 +284,32 @@ impl Command {
                         .map_err(|_| CliError(format!("invalid dup factor {v:?}")))?
                         .max(1);
                 }
+                "--fault-rate" => {
+                    let v = value(&mut i, "--fault-rate")?;
+                    let r = v
+                        .parse::<f64>()
+                        .map_err(|_| CliError(format!("invalid fault rate {v:?}")))?;
+                    if !(0.0..=1.0).contains(&r) {
+                        return Err(CliError(format!(
+                            "fault rate {r} out of range; use 0.0..=1.0"
+                        )));
+                    }
+                    transport.fault_rate = Some(r);
+                }
+                "--source-timeout-ms" => {
+                    let v = value(&mut i, "--source-timeout-ms")?;
+                    let ms = v
+                        .parse::<u64>()
+                        .map_err(|_| CliError(format!("invalid timeout {v:?}")))?;
+                    transport.source_timeout_ms = Some(ms.max(1));
+                }
+                "--retries" => {
+                    let v = value(&mut i, "--retries")?;
+                    transport.retries = Some(
+                        v.parse::<u32>()
+                            .map_err(|_| CliError(format!("invalid retry count {v:?}")))?,
+                    );
+                }
                 other => return Err(CliError(format!("unknown flag {other:?}"))),
             }
             i += 1;
@@ -248,6 +330,7 @@ impl Command {
                 chunk_size,
                 shards,
                 metrics_out,
+                transport,
             }),
             "lookup" => {
                 let asn = *asns
@@ -258,6 +341,7 @@ impl Command {
                     seed,
                     asn,
                     metrics_out,
+                    transport,
                 })
             }
             "metrics" => Ok(Command::Metrics {
@@ -268,6 +352,7 @@ impl Command {
                 shards,
                 dup,
                 metrics_out,
+                transport,
             }),
             "report" => Ok(Command::Report { scale, seed }),
             "help" | "--help" | "-h" => Ok(Command::Help),
@@ -329,12 +414,16 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> {
             chunk_size,
             shards,
             metrics_out,
+            transport,
         } => {
             let seed = WorldSeed::new(seed);
             let world = World::generate(scale.config(seed));
             let mut system = AsdbSystem::build(&world, seed.derive("cli"));
             if let Some(n) = shards {
                 system = system.with_cache_shards(n);
+            }
+            if let Some(cfg) = transport.fanout_config() {
+                system = system.with_transport(cfg);
             }
             let records: Vec<_> = if asns.is_empty() {
                 world.ases.iter().map(|r| r.parsed.clone()).collect()
@@ -393,6 +482,7 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> {
             seed,
             asn,
             metrics_out,
+            transport,
         } => {
             let seed = WorldSeed::new(seed);
             let world = World::generate(scale.config(seed));
@@ -400,7 +490,10 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> {
                 writeln!(out, "error: {asn} is not registered in this world")?;
                 return Ok(2);
             };
-            let system = AsdbSystem::build(&world, seed.derive("cli"));
+            let mut system = AsdbSystem::build(&world, seed.derive("cli"));
+            if let Some(cfg) = transport.fanout_config() {
+                system = system.with_transport(cfg);
+            }
             let c = system.classify(&rec.parsed);
             writeln!(out, "{asn} @ {}", rec.rir)?;
             writeln!(out, "  WHOIS name : {}", rec.parsed.name)?;
@@ -432,6 +525,17 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> {
             for (src, labels) in &c.match_labels {
                 writeln!(out, "  {src:<10} : {labels}")?;
             }
+            if !c.degraded.is_empty() {
+                writeln!(
+                    out,
+                    "  degraded   : {}",
+                    c.degraded
+                        .iter()
+                        .map(|s| s.name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )?;
+            }
             writeln!(out, "  stage      : {}", c.stage.label())?;
             writeln!(out, "  verdict    : {}", c.categories)?;
             if let Some(path) = metrics_out {
@@ -448,12 +552,16 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> {
             shards,
             dup,
             metrics_out,
+            transport,
         } => {
             let seed = WorldSeed::new(seed);
             let world = World::generate(scale.config(seed));
             let mut system = AsdbSystem::build(&world, seed.derive("cli"));
             if let Some(n) = shards {
                 system = system.with_cache_shards(n);
+            }
+            if let Some(cfg) = transport.fanout_config() {
+                system = system.with_transport(cfg);
             }
             let records: Vec<_> = world
                 .ases
@@ -543,6 +651,7 @@ mod tests {
                 chunk_size,
                 shards,
                 metrics_out,
+                transport,
             } => {
                 assert_eq!(scale, Scale::Standard);
                 assert_eq!(seed, 42);
@@ -552,9 +661,50 @@ mod tests {
                 assert_eq!(chunk_size, Some(16));
                 assert_eq!(shards, Some(4));
                 assert_eq!(metrics_out.as_deref(), Some("/tmp/m.json"));
+                assert_eq!(transport, TransportFlags::default());
+                assert!(transport.fanout_config().is_none());
             }
             other => panic!("parsed {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_transport_flags() {
+        let c = parse(&[
+            "classify",
+            "--fault-rate",
+            "0.25",
+            "--source-timeout-ms",
+            "200",
+            "--retries",
+            "5",
+        ])
+        .unwrap();
+        match c {
+            Command::Classify { transport, .. } => {
+                assert_eq!(transport.fault_rate, Some(0.25));
+                assert_eq!(transport.source_timeout_ms, Some(200));
+                assert_eq!(transport.retries, Some(5));
+                let cfg = transport.fanout_config().expect("flags select a config");
+                assert_eq!(cfg.transport.timeout, Duration::from_millis(200));
+                assert_eq!(cfg.transport.max_retries, 5);
+                assert!(!cfg.faults.is_none());
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        // A partial flag set still selects a config, defaulting the rest.
+        match parse(&["metrics", "--retries", "0"]).unwrap() {
+            Command::Metrics { transport, .. } => {
+                let cfg = transport.fanout_config().expect("config selected");
+                assert_eq!(cfg.transport.max_retries, 0);
+                assert!(cfg.faults.is_none(), "no faults unless asked for");
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(parse(&["classify", "--fault-rate", "1.5"]).is_err());
+        assert!(parse(&["classify", "--fault-rate", "x"]).is_err());
+        assert!(parse(&["classify", "--source-timeout-ms"]).is_err());
+        assert!(parse(&["classify", "--retries", "-1"]).is_err());
     }
 
     #[test]
@@ -620,6 +770,7 @@ mod tests {
                 shards: None,
                 dup: 1,
                 metrics_out: None,
+                transport: TransportFlags::default(),
             },
             &mut buf,
         )
@@ -627,6 +778,7 @@ mod tests {
         assert_eq!(code, 0);
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("pipeline stages"), "{text}");
+        assert!(text.contains("source transport"), "{text}");
         assert!(text.contains("org cache"), "{text}");
         assert!(text.contains("coalesced"), "{text}");
         assert!(text.contains("steals"), "{text}");
@@ -692,6 +844,7 @@ mod tests {
                 seed: 9,
                 asn: Asn::new(999_999_999),
                 metrics_out: None,
+                transport: TransportFlags::default(),
             },
             &mut buf,
         )

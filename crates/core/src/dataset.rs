@@ -22,6 +22,10 @@ pub struct DatasetRecord {
     pub stage: String,
     /// Contributing sources.
     pub sources: Vec<String>,
+    /// Sources that were unavailable when the record was produced (absent
+    /// in dumps from healthy runs and in pre-transport dumps).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub degraded: Vec<String>,
 }
 
 impl DatasetRecord {
@@ -43,6 +47,7 @@ impl DatasetRecord {
                 .collect(),
             stage: c.stage.label().to_owned(),
             sources: c.sources.iter().map(|s| s.name().to_owned()).collect(),
+            degraded: c.degraded.iter().map(|s| s.name().to_owned()).collect(),
         }
     }
 }
@@ -193,6 +198,7 @@ mod tests {
             chosen_domain: None,
             ml: None,
             match_labels: Vec::new(),
+            degraded: Vec::new(),
         }
     }
 
@@ -262,6 +268,7 @@ mod tests {
             layer2: vec!["tech/ISP".into()],
             stage: "x".into(),
             sources: vec![],
+            degraded: vec![],
         };
         let mut b = a.clone();
         b.asn = Asn::new(2);

@@ -18,6 +18,7 @@
 use crate::cache::OrgCache;
 use crate::pipeline::{Classification, Stage};
 use asdb_obs::{Counter, Histogram, Registry, RegistrySnapshot};
+use asdb_sources::transport::{OutcomeKind, SourceOutcome};
 use asdb_sources::SourceId;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -76,6 +77,16 @@ pub struct PipelineMetrics {
     source_matches: [Arc<Counter>; SourceId::ASDB_FIVE.len()],
     source_rejects: [Arc<Counter>; SourceId::ASDB_FIVE.len()],
 
+    // Transport health per source: clean calls that found no entry,
+    // calls lost to timeouts / hard failures, retry attempts beyond the
+    // first, and calls shed by an open circuit breaker (which never reach
+    // the wire and so do not count as queries).
+    source_no_match: [Arc<Counter>; SourceId::ASDB_FIVE.len()],
+    source_timeouts: [Arc<Counter>; SourceId::ASDB_FIVE.len()],
+    source_failures: [Arc<Counter>; SourceId::ASDB_FIVE.len()],
+    source_retries: [Arc<Counter>; SourceId::ASDB_FIVE.len()],
+    source_breaker_open: [Arc<Counter>; SourceId::ASDB_FIVE.len()],
+
     // §5.1 domain selection outcomes.
     domain_selected: Arc<Counter>,
     domain_none: Arc<Counter>,
@@ -98,6 +109,7 @@ pub struct PipelineMetrics {
     domain_latency: Arc<Histogram>,
     ml_latency: Arc<Histogram>,
     source_latency: Arc<Histogram>,
+    fanout_latency: Arc<Histogram>,
 
     // Batch throughput.
     batch_runs: Arc<Counter>,
@@ -125,11 +137,21 @@ impl PipelineMetrics {
         let source_queries = per_source(&registry, "queries");
         let source_matches = per_source(&registry, "matches");
         let source_rejects = per_source(&registry, "rejects");
+        let source_no_match = per_source(&registry, "no_match");
+        let source_timeouts = per_source(&registry, "timeouts");
+        let source_failures = per_source(&registry, "failures");
+        let source_retries = per_source(&registry, "retries");
+        let source_breaker_open = per_source(&registry, "breaker_open");
         PipelineMetrics {
             stage,
             source_queries,
             source_matches,
             source_rejects,
+            source_no_match,
+            source_timeouts,
+            source_failures,
+            source_retries,
+            source_breaker_open,
             domain_selected: registry.counter("domain.selected"),
             domain_none: registry.counter("domain.none"),
             ml_fired: registry.counter("ml.fired"),
@@ -145,6 +167,7 @@ impl PipelineMetrics {
             domain_latency: registry.histogram("pipeline.domain_select"),
             ml_latency: registry.histogram("pipeline.ml"),
             source_latency: registry.histogram("pipeline.source_match"),
+            fanout_latency: registry.histogram("pipeline.fanout"),
             batch_runs: registry.counter("batch.runs"),
             batch_records: registry.counter("batch.records"),
             batch_workers: registry.counter("batch.workers"),
@@ -231,6 +254,45 @@ impl PipelineMetrics {
         if let Some(i) = source_index(id) {
             self.source_rejects[i].inc();
         }
+    }
+
+    /// Record the transport facts of one fan-out source call, at call
+    /// time: a breaker-shed call counts only as `breaker_open` (it never
+    /// reached the wire); everything else counts as a query, plus its
+    /// retries and — for degraded calls — a timeout or failure. Clean
+    /// calls that found no entry count as `no_match`. Match/reject
+    /// resolution is recorded separately by the fan-out's policy pass, so
+    /// per source `queries == matches + rejects + no_match + timeouts +
+    /// failures`.
+    pub fn record_source_outcome(&self, o: &SourceOutcome) {
+        if !self.enabled() {
+            return;
+        }
+        let Some(i) = source_index(o.source) else {
+            return;
+        };
+        if matches!(o.kind, OutcomeKind::BreakerOpen) {
+            self.source_breaker_open[i].inc();
+            return;
+        }
+        self.source_queries[i].inc();
+        if o.retries > 0 {
+            self.source_retries[i].add(u64::from(o.retries));
+        }
+        match o.kind {
+            OutcomeKind::NoMatch => self.source_no_match[i].inc(),
+            OutcomeKind::TimedOut => self.source_timeouts[i].inc(),
+            OutcomeKind::Failed => self.source_failures[i].inc(),
+            OutcomeKind::Matched(_) | OutcomeKind::BreakerOpen => {}
+        }
+    }
+
+    /// Record one fan-out collection phase's wall-clock latency.
+    pub fn record_fanout(&self, elapsed: Duration) {
+        if !self.enabled() {
+            return;
+        }
+        self.fanout_latency.record(elapsed);
     }
 
     /// Record a §5.1 domain-selection outcome.
@@ -354,14 +416,27 @@ impl PipelineMetrics {
         }
         out.push_str(&format!("  {:<36} {total:>8}\n", "total"));
 
-        out.push_str("\n== sources (queries / matches / rejects) ==\n");
+        out.push_str("\n== sources (queries / matches / rejects / no-match) ==\n");
         for (i, id) in SourceId::ASDB_FIVE.iter().enumerate() {
             out.push_str(&format!(
-                "  {:<12} {:>8} / {:>8} / {:>8}\n",
+                "  {:<12} {:>8} / {:>8} / {:>8} / {:>8}\n",
                 id.to_string(),
                 self.source_queries[i].get(),
                 self.source_matches[i].get(),
                 self.source_rejects[i].get(),
+                self.source_no_match[i].get(),
+            ));
+        }
+
+        out.push_str("\n== source transport (timeouts / failures / retries / breaker-open) ==\n");
+        for (i, id) in SourceId::ASDB_FIVE.iter().enumerate() {
+            out.push_str(&format!(
+                "  {:<12} {:>8} / {:>8} / {:>8} / {:>8}\n",
+                id.to_string(),
+                self.source_timeouts[i].get(),
+                self.source_failures[i].get(),
+                self.source_retries[i].get(),
+                self.source_breaker_open[i].get(),
             ));
         }
 
@@ -431,6 +506,7 @@ mod tests {
             chosen_domain: None,
             ml: None,
             match_labels: Vec::new(),
+            degraded: Vec::new(),
         };
         m.record_classification(&c, Duration::from_micros(10));
         m.record_classification(&c, Duration::from_micros(20));
@@ -462,6 +538,13 @@ mod tests {
         let m = PipelineMetrics::new();
         m.record_source_query(SourceId::ZoomInfo);
         m.record_source_match(SourceId::Clearbit);
+        m.record_source_outcome(&SourceOutcome {
+            source: SourceId::ZoomInfo,
+            kind: OutcomeKind::NoMatch,
+            attempts: 1,
+            retries: 0,
+            elapsed: Duration::ZERO,
+        });
         let cache = m.build_cache();
         let snap = m.snapshot(&cache);
         // `cache.shards` is a layout gauge, nonzero by construction.
@@ -494,6 +577,7 @@ mod tests {
         for section in [
             "pipeline stages",
             "sources",
+            "source transport",
             "domain selection",
             "ml classifier",
             "org cache",

@@ -3,11 +3,11 @@
 use crate::cache::{CachedResult, Lookup, OrgCache, OrgKey};
 use crate::classifier::{MlClassifiers, MlVerdict};
 use crate::metrics::PipelineMetrics;
-use crate::sources_set::SourceSet;
+use crate::sources_set::{FanoutConfig, MatchPolicy, SourceFanout, SourceSet};
 use asdb_entity::domain_select::{select_domain, DomainCandidates, DomainStrategy};
 use asdb_model::{Domain, WorldSeed};
 use asdb_rir::ParsedWhois;
-use asdb_sources::{DataSource, Query, SourceId, SourceMatch};
+use asdb_sources::{Query, SourceId, SourceMatch};
 use asdb_taxonomy::naicslite::known;
 use asdb_taxonomy::{Category, CategorySet, Layer1};
 use asdb_websim::SimWeb;
@@ -94,6 +94,12 @@ pub struct Classification {
     /// reconstruct "the union of category labels from external data
     /// sources".
     pub match_labels: Vec<(SourceId, CategorySet)>,
+    /// Sources that were unavailable for this record (timed out, failed
+    /// every attempt, or were shed by an open circuit breaker) — the
+    /// consensus ran without them, so the label rests on partial §3.5
+    /// coverage. Empty in a healthy run.
+    #[serde(default)]
+    pub degraded: Vec<SourceId>,
 }
 
 impl Classification {
@@ -147,6 +153,8 @@ pub struct AsdbSystem {
     cache: OrgCache,
     metrics: PipelineMetrics,
     seed: WorldSeed,
+    fanout: SourceFanout,
+    transport_seed: WorldSeed,
 }
 
 impl AsdbSystem {
@@ -164,6 +172,7 @@ impl AsdbSystem {
         }
         let metrics = PipelineMetrics::new();
         let cache = metrics.build_cache();
+        let transport_seed = seed.derive("transport");
         AsdbSystem {
             sources,
             ml,
@@ -173,6 +182,8 @@ impl AsdbSystem {
             cache,
             metrics,
             seed: seed.derive("pipeline"),
+            fanout: SourceFanout::new(transport_seed),
+            transport_seed,
         }
     }
 
@@ -192,6 +203,21 @@ impl AsdbSystem {
     pub fn with_cache_shards(mut self, n: usize) -> AsdbSystem {
         self.cache = self.metrics.build_cache_with_shards(n);
         self
+    }
+
+    /// Builder-style: rebuild the source fan-out with explicit transport
+    /// tuning and an injected fault plan. The fan-out's randomness derives
+    /// from a seed fixed at [`AsdbSystem::build`] time, so the same build
+    /// seed + config replays the exact same faults, retries, and backoff
+    /// schedules. Clients and breaker state are rebuilt fresh.
+    pub fn with_transport(mut self, config: FanoutConfig) -> AsdbSystem {
+        self.fanout = SourceFanout::with_config(self.transport_seed, config);
+        self
+    }
+
+    /// The fault-aware source fan-out.
+    pub fn fanout(&self) -> &SourceFanout {
+        &self.fanout
     }
 
     /// The simulated web the system scrapes.
@@ -286,19 +312,19 @@ impl AsdbSystem {
         options: &PipelineOptions,
         preselected: Option<Option<Domain>>,
     ) -> Classification {
-        // Stage 1: ASN-indexed sources.
-        let asn_query = Query::by_asn(whois.asn);
-        self.metrics.record_source_query(SourceId::PeeringDb);
-        self.metrics.record_source_query(SourceId::Ipinfo);
-        let pdb_match = self.sources.peeringdb.search(&asn_query);
-        let ipinfo_match = self.sources.ipinfo.search(&asn_query);
+        // Stage 1: ASN-indexed sources, through the fault-aware fan-out.
+        let stage1 = self.fanout.stage1(&self.sources, whois.asn, &self.metrics);
 
         // High-confidence shortcut: "only if PeeringDB returns an ISP
-        // label."
+        // label." The fan-out only surfaces a network type when the
+        // PeeringDB call itself succeeded, so a degraded PeeringDB
+        // disables the shortcut. Both stage-1 outcomes are resolved here
+        // — including IPinfo's, whose already-computed answer used to be
+        // silently dropped on this path.
         if options.use_asn_shortcut {
-            if let Some(t) = self.sources.peeringdb.network_type(whois.asn) {
+            if let Some(t) = stage1.network_type {
                 if t.is_isp_signal() {
-                    self.metrics.record_source_match(SourceId::PeeringDb);
+                    let resolved = self.fanout.finalize_shortcut(stage1, &self.metrics);
                     return Classification {
                         asn: whois.asn,
                         categories: t.to_naicslite(),
@@ -307,6 +333,7 @@ impl AsdbSystem {
                         chosen_domain: None,
                         ml: None,
                         match_labels: vec![(SourceId::PeeringDb, t.to_naicslite())],
+                        degraded: resolved.degraded,
                     };
                 }
             }
@@ -338,7 +365,10 @@ impl AsdbSystem {
             None
         };
 
-        // Stage 3: match the remaining sources.
+        // Stage 3: fan out to the web sources and resolve everything —
+        // stage-1 outcomes included — source-agnostically against the
+        // match policy. All query/match/reject/timeout/retry accounting
+        // lives in the fan-out layer.
         let t_sources = std::time::Instant::now();
         let query = Query {
             asn: Some(whois.asn),
@@ -347,41 +377,23 @@ impl AsdbSystem {
             address: whois.address.clone(),
             phone: whois.phone.clone(),
         };
-        for id in [SourceId::Dnb, SourceId::Crunchbase, SourceId::Zvelo] {
-            self.metrics.record_source_query(id);
-        }
-        let mut matches: Vec<SourceMatch> = Vec::new();
-        for m in [
-            self.sources.dnb.search(&query),
-            self.sources.crunchbase.search(&query),
-            self.sources.zvelo.search(&query),
-            pdb_match,
-            ipinfo_match,
-        ]
-        .into_iter()
-        .flatten()
-        {
-            // Entity-disagreement rejection: "ASdb rejects matches where
-            // the data source provides a domain that does not match ASdb's
-            // chosen domain."
-            if options.reject_entity_disagreement {
-                if let (Some(md), Some(cd)) = (&m.domain, &chosen_domain) {
-                    if md.registrable() != cd.registrable() {
-                        self.metrics.record_source_reject(m.source);
-                        continue;
-                    }
-                }
-            }
-            if m.categories.is_empty() {
-                self.metrics.record_source_reject(m.source);
-                continue;
-            }
-            self.metrics.record_source_match(m.source);
-            matches.push(m);
-        }
+        let policy = MatchPolicy {
+            reject_entity_disagreement: options.reject_entity_disagreement,
+            chosen_domain: chosen_domain.as_ref(),
+        };
+        let resolved = self
+            .fanout
+            .stage3(&self.sources, &query, stage1, &policy, &self.metrics);
         self.metrics.record_source_phase(t_sources.elapsed());
 
-        self.consensus(whois.asn, chosen_domain, ml, matches, options)
+        self.consensus(
+            whois.asn,
+            chosen_domain,
+            ml,
+            resolved.matches,
+            resolved.degraded,
+            options,
+        )
     }
 
     /// Classify with the organization cache (production protocol).
@@ -415,6 +427,7 @@ impl AsdbSystem {
                     chosen_domain: chosen,
                     ml: None,
                     match_labels: Vec::new(),
+                    degraded: Vec::new(),
                 };
                 self.metrics.record_classification(&c, start.elapsed());
                 c
@@ -444,6 +457,7 @@ impl AsdbSystem {
         chosen_domain: Option<Domain>,
         ml: Option<MlVerdict>,
         matches: Vec<SourceMatch>,
+        degraded: Vec<SourceId>,
         options: &PipelineOptions,
     ) -> Classification {
         let ml_cats = ml.filter(|v| v.fired()).map(|v| {
@@ -469,6 +483,7 @@ impl AsdbSystem {
             chosen_domain: chosen_domain.clone(),
             ml,
             match_labels: match_labels.clone(),
+            degraded: degraded.clone(),
         };
 
         // Layer-1 vote counting across sources (used both for consensus and
@@ -673,6 +688,81 @@ mod tests {
         assert_eq!(s.metrics().stage_count(Stage::Cached), 1);
         assert!(s.cache().hits() >= 1);
         assert!(s.cache().hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn shortcut_path_accounts_for_the_ipinfo_stage1_result(/* regression */) {
+        // The PeeringDB ISP shortcut ends the pipeline at stage 1, but
+        // IPinfo's already-issued query must still resolve to exactly one
+        // of match / reject / no-match — it used to be silently dropped,
+        // leaving `source.ipinfo.queries` ahead of its outcomes and the
+        // Table 8 bookkeeping unreconcilable.
+        let (w, s) = setup();
+        let n = 400usize;
+        for rec in w.ases.iter().take(n) {
+            let _ = s.classify(&rec.parsed);
+        }
+        assert!(
+            s.metrics().stage_count(Stage::MatchedByAsn) > 0,
+            "shortcut never fired; the regression path was not exercised"
+        );
+        let snap = s.metrics_snapshot();
+        for slug in ["dnb", "crunchbase", "zvelo", "peeringdb", "ipinfo"] {
+            let c = |what: &str| snap.counter(&format!("source.{slug}.{what}"));
+            assert_eq!(
+                c("queries"),
+                c("matches") + c("rejects") + c("no_match") + c("timeouts") + c("failures"),
+                "per-source outcome accounting does not reconcile for {slug}"
+            );
+        }
+    }
+
+    #[test]
+    fn degraded_sources_are_surfaced_and_runs_replay_per_seed() {
+        let w = World::generate(WorldConfig::small(WorldSeed::new(2021)));
+        let noisy = || {
+            AsdbSystem::build(&w, WorldSeed::new(1)).with_transport(
+                crate::sources_set::FanoutConfig {
+                    faults: asdb_sources::transport::FaultPlan::uniform(0.35),
+                    ..Default::default()
+                },
+            )
+        };
+        let (a, b) = (noisy(), noisy());
+        let mut saw_degraded = false;
+        for rec in w.ases.iter().take(60) {
+            let ca = a.classify(&rec.parsed);
+            let cb = b.classify(&rec.parsed);
+            // Same build seed + same fault plan ⇒ bit-identical replay,
+            // unavailable-source record included.
+            assert_eq!(ca.categories, cb.categories);
+            assert_eq!(ca.stage, cb.stage);
+            assert_eq!(ca.degraded, cb.degraded);
+            saw_degraded |= !ca.degraded.is_empty();
+        }
+        assert!(saw_degraded, "35% fault rate never degraded a source");
+    }
+
+    #[test]
+    fn fault_free_transport_is_transparent() {
+        // With no fault plan the fan-out must not perturb labels: two
+        // systems, one forced sequential, agree bitwise over a sample.
+        let w = World::generate(WorldConfig::small(WorldSeed::new(2021)));
+        let conc = AsdbSystem::build(&w, WorldSeed::new(1));
+        let seq = AsdbSystem::build(&w, WorldSeed::new(1)).with_transport(
+            crate::sources_set::FanoutConfig {
+                concurrent: false,
+                ..Default::default()
+            },
+        );
+        for rec in w.ases.iter().take(80) {
+            let ca = conc.classify(&rec.parsed);
+            let cb = seq.classify(&rec.parsed);
+            assert_eq!(ca.categories, cb.categories);
+            assert_eq!(ca.stage, cb.stage);
+            assert_eq!(ca.sources, cb.sources);
+            assert!(ca.degraded.is_empty() && cb.degraded.is_empty());
+        }
     }
 
     #[test]

@@ -1,12 +1,35 @@
-//! The bundle of external data sources ASdb ships with.
+//! The bundle of external data sources ASdb ships with, and the
+//! fault-aware fan-out that queries them.
+//!
+//! [`SourceSet`] owns the five production sources (Table 1).
+//! [`SourceFanout`] is the pipeline's only way to *call* them: every
+//! search goes through a per-source [`SourceClient`] (timeout, bounded
+//! retry with deterministic backoff, circuit breaker) over a shared
+//! [`NetworkSim`], and the ASN stage and the name/domain stage each fan
+//! out concurrently on scoped threads with order-stable collection. The
+//! pipeline consumes typed [`SourceOutcome`]s, so "the source had
+//! nothing" and "the source was unavailable" stay distinct — the §3.5
+//! partial-coverage consensus runs on whatever subset answered, and the
+//! unavailable subset is surfaced as `degraded`.
+//!
+//! Determinism: each source has its own logical clock inside the sim and
+//! the stages touch disjoint source subsets, so a serial run of the
+//! concurrent fan-out is bit-identical to the sequential one — and with
+//! faults disabled the layer is transparent (same labels as a direct
+//! `search` loop).
 
-use asdb_model::WorldSeed;
+use crate::metrics::PipelineMetrics;
+use asdb_model::{Asn, Domain, WorldSeed};
 use asdb_sources::crunchbase::Crunchbase;
 use asdb_sources::dnb::Dnb;
 use asdb_sources::ipinfo::Ipinfo;
 use asdb_sources::peeringdb::PeeringDb;
+use asdb_sources::transport::{
+    BreakerState, FaultPlan, NetworkSim, OutcomeKind, SourceClient, SourceOutcome, TransportConfig,
+};
 use asdb_sources::zvelo::Zvelo;
 use asdb_sources::{DataSource, Query, SourceId, SourceMatch};
+use asdb_taxonomy::schemes::PeeringDbType;
 use asdb_worldgen::World;
 
 /// ASdb's five production sources (Table 1: "ASdb uses D&B, Crunchbase,
@@ -59,10 +82,279 @@ impl SourceSet {
     }
 }
 
+/// The ASN-indexed sources the Figure 4 stage 1 queries, in the order
+/// their outcomes are collected.
+const STAGE1: [SourceId; 2] = [SourceId::PeeringDb, SourceId::Ipinfo];
+
+/// The web sources stage 3 queries once a name/domain is available.
+const STAGE3: [SourceId; 3] = [SourceId::Dnb, SourceId::Crunchbase, SourceId::Zvelo];
+
+/// Tuning for the fan-out layer: concurrency, transport, and injected
+/// network weather.
+#[derive(Debug, Clone)]
+pub struct FanoutConfig {
+    /// Issue each stage's source calls on scoped threads (`false`
+    /// reproduces the sequential legacy path; outcomes are identical
+    /// either way).
+    pub concurrent: bool,
+    /// Per-source timeout / retry / backoff / breaker tuning.
+    pub transport: TransportConfig,
+    /// Injected faults (none by default — the transport is transparent).
+    pub faults: FaultPlan,
+}
+
+impl Default for FanoutConfig {
+    fn default() -> FanoutConfig {
+        FanoutConfig {
+            concurrent: true,
+            transport: TransportConfig::default(),
+            faults: FaultPlan::none(),
+        }
+    }
+}
+
+/// The collected stage-1 (ASN-indexed) fan-out: one outcome per source,
+/// PeeringDB then IPinfo, plus PeeringDB's operator-reported network type
+/// when that source was reachable (the Figure 4 shortcut's input).
+#[derive(Debug)]
+pub struct Stage1 {
+    /// Outcomes for PeeringDB then IPinfo.
+    pub outcomes: Vec<SourceOutcome>,
+    /// PeeringDB's self-reported type, if PeeringDB answered and lists
+    /// the AS.
+    pub network_type: Option<PeeringDbType>,
+}
+
+/// The match-acceptance policy the pipeline applies to raw outcomes —
+/// §5.1's entity-disagreement rejection plus the empty-label filter.
+#[derive(Debug, Clone, Copy)]
+pub struct MatchPolicy<'a> {
+    /// Reject matches whose domain disagrees with the chosen one.
+    pub reject_entity_disagreement: bool,
+    /// The §5.1 chosen domain the disagreement check compares against.
+    pub chosen_domain: Option<&'a Domain>,
+}
+
+impl MatchPolicy<'_> {
+    /// Whether this candidate match is rejected ("ASdb rejects matches
+    /// where the data source provides a domain that does not match ASdb's
+    /// chosen domain", plus matches carrying no translatable labels).
+    pub fn rejects(&self, m: &SourceMatch) -> bool {
+        if self.reject_entity_disagreement {
+            if let (Some(md), Some(cd)) = (&m.domain, self.chosen_domain) {
+                if md.registrable() != cd.registrable() {
+                    return true;
+                }
+            }
+        }
+        m.categories.is_empty()
+    }
+}
+
+/// A fully resolved fan-out: every raw outcome, the matches that survived
+/// the policy (in stable [`SourceId::ASDB_FIVE`] order), and the sources
+/// that were unavailable.
+#[derive(Debug)]
+pub struct FanoutOutcome {
+    /// Every per-source outcome, in query order.
+    pub outcomes: Vec<SourceOutcome>,
+    /// Matches that survived the [`MatchPolicy`].
+    pub matches: Vec<SourceMatch>,
+    /// Sources that timed out, failed, or were breaker-shed.
+    pub degraded: Vec<SourceId>,
+}
+
+/// The fault-aware fan-out over the five production sources: one
+/// [`SourceClient`] per source (own breaker) sharing one seeded
+/// [`NetworkSim`].
+#[derive(Debug)]
+pub struct SourceFanout {
+    config: FanoutConfig,
+    sim: NetworkSim,
+    clients: [SourceClient; SourceId::ASDB_FIVE.len()],
+}
+
+impl SourceFanout {
+    /// A transparent fan-out (no faults, default transport) for `seed`.
+    pub fn new(seed: WorldSeed) -> SourceFanout {
+        SourceFanout::with_config(seed, FanoutConfig::default())
+    }
+
+    /// A fan-out with explicit transport tuning and fault plan. All
+    /// randomness (latency draws, fault draws, backoff jitter) derives
+    /// from `seed`, so equal seed + config ⇒ bit-identical behaviour.
+    pub fn with_config(seed: WorldSeed, config: FanoutConfig) -> SourceFanout {
+        let sim = NetworkSim::with_faults(seed, config.faults.clone());
+        let clients =
+            std::array::from_fn(|i| SourceClient::new(SourceId::ASDB_FIVE[i], &config.transport));
+        SourceFanout {
+            config,
+            sim,
+            clients,
+        }
+    }
+
+    /// The active tuning.
+    pub fn config(&self) -> &FanoutConfig {
+        &self.config
+    }
+
+    /// The shared network simulation.
+    pub fn sim(&self) -> &NetworkSim {
+        &self.sim
+    }
+
+    /// The circuit-breaker state for a production source (`None` for the
+    /// two dropped sources, which have no client).
+    pub fn breaker_state(&self, id: SourceId) -> Option<BreakerState> {
+        let i = SourceId::ASDB_FIVE.iter().position(|s| *s == id)?;
+        Some(self.clients[i].breaker_state())
+    }
+
+    fn client(&self, id: SourceId) -> &SourceClient {
+        let i = SourceId::ASDB_FIVE
+            .iter()
+            .position(|s| *s == id)
+            .expect("fan-out only queries the ASdb five");
+        &self.clients[i]
+    }
+
+    /// Issue one query to each of `ids` — on scoped threads when
+    /// configured concurrent — and collect outcomes in `ids` order
+    /// regardless of completion order. Transport accounting (queries,
+    /// retries, timeouts, failures, breaker sheds) is recorded here, at
+    /// call time; match/reject resolution happens later in
+    /// [`SourceFanout::resolve`].
+    fn calls(
+        &self,
+        sources: &SourceSet,
+        ids: &[SourceId],
+        query: &Query,
+        metrics: &PipelineMetrics,
+    ) -> Vec<SourceOutcome> {
+        let run = |id: SourceId| -> SourceOutcome {
+            let source = sources.get(id).expect("ASdb-five source present");
+            let out = self
+                .client(id)
+                .call(&self.config.transport, &self.sim, source, query);
+            metrics.record_source_outcome(&out);
+            out
+        };
+        let t = std::time::Instant::now();
+        let outcomes = if self.config.concurrent && ids.len() > 1 {
+            let run = &run;
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = ids
+                    .iter()
+                    .map(|id| scope.spawn(move |_| run(*id)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("fan-out worker panicked"))
+                    .collect()
+            })
+            .expect("fan-out scope")
+        } else {
+            ids.iter().copied().map(run).collect()
+        };
+        metrics.record_fanout(t.elapsed());
+        outcomes
+    }
+
+    /// Stage 1: query the ASN-indexed sources (PeeringDB, IPinfo)
+    /// concurrently. PeeringDB's network type is only consulted when its
+    /// call succeeded — a degraded PeeringDB disables the shortcut rather
+    /// than silently answering from data the transport never delivered.
+    pub fn stage1(&self, sources: &SourceSet, asn: Asn, metrics: &PipelineMetrics) -> Stage1 {
+        let outcomes = self.calls(sources, &STAGE1, &Query::by_asn(asn), metrics);
+        let network_type = if outcomes[0].is_degraded() {
+            None
+        } else {
+            sources
+                .get(SourceId::PeeringDb)
+                .and_then(|s| s.network_type(asn))
+        };
+        Stage1 {
+            outcomes,
+            network_type,
+        }
+    }
+
+    /// Stage 3: query the web sources (D&B, Crunchbase, Zvelo)
+    /// concurrently, merge with the stage-1 outcomes into stable
+    /// [`SourceId::ASDB_FIVE`] order, and resolve everything against the
+    /// match policy.
+    pub fn stage3(
+        &self,
+        sources: &SourceSet,
+        query: &Query,
+        stage1: Stage1,
+        policy: &MatchPolicy<'_>,
+        metrics: &PipelineMetrics,
+    ) -> FanoutOutcome {
+        let mut outcomes = self.calls(sources, &STAGE3, query, metrics);
+        outcomes.extend(stage1.outcomes);
+        SourceFanout::resolve(outcomes, policy, metrics)
+    }
+
+    /// Finalize stage-1 accounting when the PeeringDB ISP shortcut ends
+    /// the pipeline before stage 3. Both ASN calls were already issued, so
+    /// both must resolve: PeeringDB's answer (the shortcut's own evidence)
+    /// counts as its match, and IPinfo's already-computed result is
+    /// matched / rejected / no-matched under the domain-free policy
+    /// instead of being silently dropped — without this, per-source
+    /// `queries` exceed `matches + rejects + no_match` and the Table 8
+    /// bookkeeping never reconciles.
+    pub fn finalize_shortcut(&self, stage1: Stage1, metrics: &PipelineMetrics) -> FanoutOutcome {
+        let policy = MatchPolicy {
+            reject_entity_disagreement: false,
+            chosen_domain: None,
+        };
+        SourceFanout::resolve(stage1.outcomes, &policy, metrics)
+    }
+
+    /// Resolve raw outcomes against the policy, source-agnostically: each
+    /// successful call becomes exactly one of match / reject / no-match
+    /// (recorded), each degraded call lands in `degraded`. Together with
+    /// call-time accounting this keeps the per-source invariant
+    /// `queries == matches + rejects + no_match + timeouts + failures`.
+    pub fn resolve(
+        outcomes: Vec<SourceOutcome>,
+        policy: &MatchPolicy<'_>,
+        metrics: &PipelineMetrics,
+    ) -> FanoutOutcome {
+        let mut matches = Vec::new();
+        let mut degraded = Vec::new();
+        for o in &outcomes {
+            match &o.kind {
+                OutcomeKind::Matched(m) => {
+                    if policy.rejects(m) {
+                        metrics.record_source_reject(o.source);
+                    } else {
+                        metrics.record_source_match(o.source);
+                        matches.push(m.clone());
+                    }
+                }
+                OutcomeKind::NoMatch => {}
+                OutcomeKind::TimedOut | OutcomeKind::Failed | OutcomeKind::BreakerOpen => {
+                    degraded.push(o.source);
+                }
+            }
+        }
+        FanoutOutcome {
+            outcomes,
+            matches,
+            degraded,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use asdb_taxonomy::CategorySet;
     use asdb_worldgen::WorldConfig;
+    use std::time::Duration;
 
     #[test]
     fn builds_and_dispatches() {
@@ -76,5 +368,123 @@ mod tests {
         for h in &hits {
             assert!(matches!(h.source, SourceId::PeeringDb | SourceId::Ipinfo));
         }
+    }
+
+    #[test]
+    fn dropped_sources_stay_excluded_from_the_fanout() {
+        let f = SourceFanout::new(WorldSeed::new(9));
+        assert!(f.breaker_state(SourceId::ZoomInfo).is_none());
+        assert!(f.breaker_state(SourceId::Clearbit).is_none());
+        for id in SourceId::ASDB_FIVE {
+            assert_eq!(f.breaker_state(id), Some(BreakerState::Closed));
+        }
+    }
+
+    #[test]
+    fn concurrent_and_sequential_fanout_agree_even_under_faults() {
+        let w = World::generate(WorldConfig::small(WorldSeed::new(5)));
+        let s = SourceSet::build(&w, WorldSeed::new(6));
+        let metrics = PipelineMetrics::new();
+        let seed = WorldSeed::new(7);
+        let faulty = |concurrent| {
+            SourceFanout::with_config(
+                seed,
+                FanoutConfig {
+                    concurrent,
+                    faults: FaultPlan::uniform(0.2),
+                    ..FanoutConfig::default()
+                },
+            )
+        };
+        let (conc, seq) = (faulty(true), faulty(false));
+        for rec in w.ases.iter().take(40) {
+            let a = conc.stage1(&s, rec.asn, &metrics);
+            let b = seq.stage1(&s, rec.asn, &metrics);
+            // Order-stable collection: PeeringDB then IPinfo, always.
+            assert_eq!(a.outcomes[0].source, SourceId::PeeringDb);
+            assert_eq!(a.outcomes[1].source, SourceId::Ipinfo);
+            // Per-source logical clocks make the two modes bit-identical,
+            // faults, retries, virtual elapsed time and all.
+            assert_eq!(a.outcomes, b.outcomes);
+            assert_eq!(a.network_type, b.network_type);
+        }
+    }
+
+    #[test]
+    fn stage3_outcomes_follow_asdb_five_order() {
+        let w = World::generate(WorldConfig::small(WorldSeed::new(5)));
+        let s = SourceSet::build(&w, WorldSeed::new(6));
+        let metrics = PipelineMetrics::new();
+        let f = SourceFanout::new(WorldSeed::new(8));
+        let rec = &w.ases[0];
+        let stage1 = f.stage1(&s, rec.asn, &metrics);
+        let policy = MatchPolicy {
+            reject_entity_disagreement: false,
+            chosen_domain: None,
+        };
+        let query = Query::by_name(&rec.parsed.name);
+        let out = f.stage3(&s, &query, stage1, &policy, &metrics);
+        let order: Vec<SourceId> = out.outcomes.iter().map(|o| o.source).collect();
+        assert_eq!(order, SourceId::ASDB_FIVE.to_vec());
+        assert!(out.degraded.is_empty(), "no faults injected");
+    }
+
+    #[test]
+    fn empty_category_matches_are_rejected_with_counters() {
+        let metrics = PipelineMetrics::new();
+        let cache = metrics.build_cache();
+        let empty_match = SourceMatch {
+            source: SourceId::Dnb,
+            entity: None,
+            domain: None,
+            raw_label: "untranslatable".into(),
+            categories: CategorySet::new(),
+            confidence: None,
+        };
+        let outcome = SourceOutcome {
+            source: SourceId::Dnb,
+            kind: OutcomeKind::Matched(empty_match),
+            attempts: 1,
+            retries: 0,
+            elapsed: Duration::ZERO,
+        };
+        metrics.record_source_outcome(&outcome);
+        let policy = MatchPolicy {
+            reject_entity_disagreement: true,
+            chosen_domain: None,
+        };
+        let out = SourceFanout::resolve(vec![outcome], &policy, &metrics);
+        assert!(out.matches.is_empty());
+        assert!(out.degraded.is_empty());
+        let snap = metrics.snapshot(&cache);
+        assert_eq!(snap.counter("source.dnb.queries"), 1);
+        assert_eq!(snap.counter("source.dnb.rejects"), 1);
+        assert_eq!(snap.counter("source.dnb.matches"), 0);
+    }
+
+    #[test]
+    fn degraded_outcomes_skip_match_accounting() {
+        let metrics = PipelineMetrics::new();
+        let cache = metrics.build_cache();
+        let outcome = SourceOutcome {
+            source: SourceId::Zvelo,
+            kind: OutcomeKind::TimedOut,
+            attempts: 3,
+            retries: 2,
+            elapsed: Duration::from_millis(3100),
+        };
+        metrics.record_source_outcome(&outcome);
+        let policy = MatchPolicy {
+            reject_entity_disagreement: true,
+            chosen_domain: None,
+        };
+        let out = SourceFanout::resolve(vec![outcome], &policy, &metrics);
+        assert_eq!(out.degraded, vec![SourceId::Zvelo]);
+        let snap = metrics.snapshot(&cache);
+        assert_eq!(snap.counter("source.zvelo.queries"), 1);
+        assert_eq!(snap.counter("source.zvelo.timeouts"), 1);
+        assert_eq!(snap.counter("source.zvelo.retries"), 2);
+        assert_eq!(snap.counter("source.zvelo.matches"), 0);
+        assert_eq!(snap.counter("source.zvelo.rejects"), 0);
     }
 }

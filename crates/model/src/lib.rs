@@ -37,4 +37,4 @@ pub use domain::{Domain, Email, Url};
 pub use error::ModelError;
 pub use org::{OrgId, OrgName};
 pub use registry::Rir;
-pub use seed::WorldSeed;
+pub use seed::{splitmix64, WorldSeed};

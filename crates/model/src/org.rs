@@ -35,7 +35,7 @@ impl fmt::Display for OrgId {
 ///
 /// Carries normalization helpers used throughout entity resolution: legal
 /// suffixes (`Inc`, `GmbH`, `SRL`, …) are noise for matching, and the paper's
-/// Crunchbase lookup "search[es] using a tokenized version of the AS name".
+/// Crunchbase lookup "search\[es\] using a tokenized version of the AS name".
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct OrgName(String);

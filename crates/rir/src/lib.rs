@@ -18,7 +18,7 @@
 //! * [`parse`]: a robust dump parser (comments, continuation lines,
 //!   malformed input tolerated, never panics),
 //! * [`dialect`]: each registry's attribute naming and serialization,
-//! * [`extract`]: the Appendix A rules turning raw objects into a
+//! * [`mod@extract`]: the Appendix A rules turning raw objects into a
 //!   structured [`extract::ParsedWhois`],
 //! * [`dump`]: reading/writing multi-registry bulk dump files.
 

@@ -38,8 +38,14 @@ pub mod ipinfo;
 pub mod peeringdb;
 pub mod profile;
 pub mod registry;
+pub mod transport;
 pub mod zoominfo;
 pub mod zvelo;
+
+pub use transport::{
+    BreakerConfig, BreakerState, FaultPlan, NetworkSim, Outage, OutcomeKind, SourceClient,
+    SourceOutcome, TransportConfig,
+};
 
 use asdb_model::{Asn, ConfidenceCode, Domain, OrgId};
 use asdb_taxonomy::CategorySet;
@@ -187,6 +193,15 @@ pub trait DataSource {
     /// Automated search (the §3.5 bulk protocol) — may return the wrong
     /// entity or nothing.
     fn search(&self, query: &Query) -> Option<SourceMatch>;
+
+    /// The operator-reported network type for an ASN, for sources that
+    /// publish one (PeeringDB's six categories; the Figure 4 stage-1
+    /// shortcut consumes it). Every other source answers `None`, which
+    /// keeps callers source-agnostic.
+    fn network_type(&self, asn: Asn) -> Option<asdb_taxonomy::schemes::PeeringDbType> {
+        let _ = asn;
+        None
+    }
 }
 
 #[cfg(test)]

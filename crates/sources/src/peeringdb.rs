@@ -126,6 +126,10 @@ impl DataSource for PeeringDb {
         let (org, t) = self.by_asn.get(&asn)?;
         Some(self.to_match(*org, *t))
     }
+
+    fn network_type(&self, asn: Asn) -> Option<PeeringDbType> {
+        PeeringDb::network_type(self, asn)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,193 @@
+//! A per-source circuit breaker.
+//!
+//! After [`BreakerConfig::threshold`] *consecutive* wire failures the
+//! breaker opens and calls are shed without touching the upstream (the
+//! fast path a real client needs during an outage: failing locally in
+//! nanoseconds instead of burning a timeout per request). After
+//! [`BreakerConfig::cooldown`] shed calls, one half-open probe is
+//! admitted: success closes the breaker, failure re-opens it for another
+//! cooldown.
+//!
+//! State transitions are driven purely by call outcomes — no wall clock —
+//! so a serial run of the transport layer is exactly reproducible.
+
+use std::sync::Mutex;
+
+/// Breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that open the breaker.
+    pub threshold: u32,
+    /// Calls shed while open before a half-open probe is admitted.
+    pub cooldown: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            threshold: 5,
+            cooldown: 8,
+        }
+    }
+}
+
+/// Observable breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation; calls flow through.
+    Closed,
+    /// Shedding calls.
+    Open,
+    /// One probe is in flight; further calls are shed until it resolves.
+    HalfOpen,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum State {
+    Closed { failures: u32 },
+    Open { shed: u32 },
+    HalfOpen,
+}
+
+/// A consecutive-failure circuit breaker.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: Mutex<State>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker.
+    pub fn new(config: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            config,
+            state: Mutex::new(State::Closed { failures: 0 }),
+        }
+    }
+
+    /// The tuning this breaker runs with.
+    pub fn config(&self) -> BreakerConfig {
+        self.config
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        match *self.state.lock().expect("breaker lock") {
+            State::Closed { .. } => BreakerState::Closed,
+            State::Open { .. } => BreakerState::Open,
+            State::HalfOpen => BreakerState::HalfOpen,
+        }
+    }
+
+    /// Ask to place a call. `false` means the call is shed (breaker open).
+    /// While open, every `cooldown + 1`-th request is admitted as a
+    /// half-open probe.
+    pub fn admit(&self) -> bool {
+        let mut s = self.state.lock().expect("breaker lock");
+        match *s {
+            State::Closed { .. } => true,
+            State::HalfOpen => false,
+            State::Open { shed } => {
+                if shed >= self.config.cooldown {
+                    *s = State::HalfOpen;
+                    true
+                } else {
+                    *s = State::Open { shed: shed + 1 };
+                    false
+                }
+            }
+        }
+    }
+
+    /// Report a successful wire call: closes the breaker.
+    pub fn on_success(&self) {
+        *self.state.lock().expect("breaker lock") = State::Closed { failures: 0 };
+    }
+
+    /// Report a failed wire call (error or timeout): a half-open probe
+    /// re-opens; a closed breaker opens at the threshold.
+    pub fn on_failure(&self) {
+        let mut s = self.state.lock().expect("breaker lock");
+        *s = match *s {
+            State::HalfOpen | State::Open { .. } => State::Open { shed: 0 },
+            State::Closed { failures } => {
+                let failures = failures + 1;
+                if failures >= self.config.threshold {
+                    State::Open { shed: 0 }
+                } else {
+                    State::Closed { failures }
+                }
+            }
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, cooldown: u32) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            threshold,
+            cooldown,
+        })
+    }
+
+    #[test]
+    fn opens_after_threshold_consecutive_failures() {
+        let b = breaker(3, 2);
+        for _ in 0..2 {
+            assert!(b.admit());
+            b.on_failure();
+            assert_eq!(b.state(), BreakerState::Closed);
+        }
+        assert!(b.admit());
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.admit(), "open breaker sheds");
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let b = breaker(2, 1);
+        b.on_failure();
+        b.on_success();
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Closed, "streak was broken");
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn half_open_probe_after_cooldown() {
+        let b = breaker(1, 2);
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        // Two shed calls, then the probe is admitted.
+        assert!(!b.admit());
+        assert!(!b.admit());
+        assert!(b.admit(), "probe admitted after cooldown");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // While the probe is outstanding, everything else is shed.
+        assert!(!b.admit());
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.admit());
+    }
+
+    #[test]
+    fn failed_probe_reopens_for_a_full_cooldown() {
+        let b = breaker(1, 3);
+        b.on_failure();
+        for _ in 0..3 {
+            assert!(!b.admit());
+        }
+        assert!(b.admit());
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        for _ in 0..3 {
+            assert!(!b.admit(), "cooldown restarts after a failed probe");
+        }
+        assert!(b.admit());
+    }
+}

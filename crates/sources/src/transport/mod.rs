@@ -1,0 +1,129 @@
+//! The fault-aware source transport layer.
+//!
+//! The paper treats the five production sources as instant, infallible
+//! lookups; real business-data APIs are none of those things. This module
+//! is the seam where those transport concerns live, split in three:
+//!
+//! * [`NetworkSim`] ([`sim`]) — deterministic, seed-driven network
+//!   weather: per-source latency distributions and an injectable
+//!   [`FaultPlan`] (error rate, timeout rate, burst [`Outage`]s).
+//! * [`CircuitBreaker`] ([`breaker`]) — consecutive-failure breaker with
+//!   cooldown-then-half-open-probe recovery.
+//! * [`SourceClient`] ([`client`]) — wraps any [`DataSource`] with
+//!   per-source timeout, bounded retry with exponential backoff and
+//!   deterministic jitter, and the breaker, returning a typed
+//!   [`SourceOutcome`].
+//!
+//! Everything is a pure function of `(seed, source, per-source call
+//! index)` plus breaker state driven only by call outcomes — no wall
+//! clock, no global RNG — so a serial run is bit-reproducible per seed,
+//! and with faults disabled the layer is behaviourally transparent: the
+//! wrapped source's answer comes back unchanged.
+//!
+//! [`DataSource`]: crate::DataSource
+
+pub mod breaker;
+pub mod client;
+pub mod sim;
+
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use client::{backoff_delay, OutcomeKind, SourceClient, SourceOutcome, TransportConfig};
+pub use sim::{CallObservation, Fault, FaultPlan, LatencyProfile, NetworkSim, Outage};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DataSource, Query, SourceId, SourceMatch};
+    use asdb_model::{Asn, OrgId, WorldSeed};
+    use proptest::prelude::*;
+    use std::time::Duration;
+
+    struct Always(SourceId);
+
+    impl DataSource for Always {
+        fn id(&self) -> SourceId {
+            self.0
+        }
+        fn lookup_org(&self, _org: OrgId) -> Option<SourceMatch> {
+            None
+        }
+        fn search(&self, _query: &Query) -> Option<SourceMatch> {
+            Some(SourceMatch {
+                source: self.0,
+                entity: None,
+                domain: None,
+                raw_label: "always".into(),
+                categories: asdb_taxonomy::CategorySet::new(),
+                confidence: None,
+            })
+        }
+    }
+
+    /// Replay a whole faulted call sequence twice; every outcome —
+    /// kind, attempt count, and virtual elapsed time (which embeds the
+    /// full retry/backoff schedule) — must be identical per seed.
+    fn replay(seed: u64, rate: f64, calls: u32) -> Vec<(String, u32, Duration)> {
+        let cfg = TransportConfig::default();
+        let sim = NetworkSim::with_faults(WorldSeed::new(seed), FaultPlan::uniform(rate));
+        let src = Always(SourceId::Crunchbase);
+        let client = SourceClient::new(SourceId::Crunchbase, &cfg);
+        let q = Query::by_asn(Asn::new(64500));
+        (0..calls)
+            .map(|_| {
+                let o = client.call(&cfg, &sim, &src, &q);
+                (format!("{:?}", o.kind), o.attempts, o.elapsed)
+            })
+            .collect()
+    }
+
+    // Pinned-seed instance of the property below; keeps one concrete
+    // replay in the plain test suite (and the helpers exercised) even
+    // where proptest is unavailable.
+    #[test]
+    fn faulted_replay_is_stable_for_a_fixed_seed() {
+        assert_eq!(replay(42, 0.3, 12), replay(42, 0.3, 12));
+        assert_ne!(replay(42, 0.3, 12), replay(43, 0.3, 12));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn retry_backoff_schedules_are_deterministic_per_seed(
+            seed in any::<u64>(),
+            rate in 0.0f64..0.45,
+        ) {
+            prop_assert_eq!(replay(seed, rate, 12), replay(seed, rate, 12));
+        }
+
+        #[test]
+        fn backoff_delay_is_pure_and_bounded(
+            seed in any::<u64>(),
+            call_index in 0u64..100_000,
+            attempt in 1u32..12,
+        ) {
+            let cfg = TransportConfig::default();
+            let s = WorldSeed::new(seed);
+            let a = backoff_delay(&cfg, s, SourceId::Dnb, call_index, attempt);
+            let b = backoff_delay(&cfg, s, SourceId::Dnb, call_index, attempt);
+            prop_assert_eq!(a, b, "same inputs, same delay");
+            let full = cfg
+                .backoff_base
+                .saturating_mul(1 << (attempt - 1).min(20))
+                .min(cfg.backoff_cap);
+            prop_assert!(a >= full / 2 && a <= full);
+        }
+
+        #[test]
+        fn distinct_attempts_jitter_independently(seed in any::<u64>()) {
+            let cfg = TransportConfig::default();
+            let s = WorldSeed::new(seed);
+            // With the cap reached, consecutive attempts share the same
+            // envelope; the jitter draw must still differ somewhere.
+            let delays: Vec<Duration> = (8..16)
+                .map(|a| backoff_delay(&cfg, s, SourceId::Ipinfo, 3, a))
+                .collect();
+            prop_assert!(delays.windows(2).any(|w| w[0] != w[1]));
+        }
+    }
+}

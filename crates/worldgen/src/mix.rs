@@ -2,7 +2,7 @@
 //! AS-owning organizations, calibrated to the paper's samples.
 //!
 //! Calibration targets:
-//! * "64% of ASes [are] owned by technology-related entities" (§3.3);
+//! * "64% of ASes \[are\] owned by technology-related entities" (§3.3);
 //! * "the two largest categories of ASes in our Gold Standard dataset —
 //!   ISPs and hosting providers" (§4.1);
 //! * Table 7's class sizes on the 150-AS gold standard: ISP N=66,

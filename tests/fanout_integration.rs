@@ -1,0 +1,143 @@
+//! Source-transport integration: the concurrent fan-out must be
+//! label-transparent at fault rate 0 (bitwise-identical to the forced
+//! sequential path, across a worker-thread grid), exactly reproducible
+//! per seed when faults are injected, and honest in its bookkeeping —
+//! per-source outcome counters reconcile over a whole world.
+
+use asdb_core::batch::classify_batch;
+use asdb_core::{AsdbSystem, FanoutConfig};
+use asdb_model::WorldSeed;
+use asdb_sources::transport::{BreakerState, FaultPlan, Outage, TransportConfig};
+use asdb_sources::SourceId;
+use asdb_worldgen::{World, WorldConfig};
+use std::time::Duration;
+
+fn world() -> World {
+    World::generate(WorldConfig::small(WorldSeed::new(77)))
+}
+
+#[test]
+fn fault_free_fanout_matches_sequential_labels_across_thread_grid() {
+    let w = world();
+    let records: Vec<_> = w.ases.iter().map(|r| r.parsed.clone()).collect();
+
+    // The reference run: sequential source calls, single worker.
+    let seq = AsdbSystem::build(&w, WorldSeed::new(3)).with_transport(FanoutConfig {
+        concurrent: false,
+        ..FanoutConfig::default()
+    });
+    let reference = classify_batch(&seq, &records, 1);
+
+    for threads in [1usize, 2, 4] {
+        let conc = AsdbSystem::build(&w, WorldSeed::new(3));
+        let out = classify_batch(&conc, &records, threads);
+        assert_eq!(out.len(), reference.len());
+        for (a, b) in reference.iter().zip(&out) {
+            assert_eq!(a.asn, b.asn);
+            assert_eq!(a.categories, b.categories, "{} at {threads} threads", a.asn);
+            assert_eq!(a.stage, b.stage, "{} at {threads} threads", a.asn);
+            assert_eq!(a.sources, b.sources, "{} at {threads} threads", a.asn);
+            assert!(b.degraded.is_empty(), "no faults injected");
+        }
+    }
+}
+
+#[test]
+fn per_source_outcome_counters_reconcile_over_a_world() {
+    let w = world();
+    let s = AsdbSystem::build(&w, WorldSeed::new(5)).with_transport(FanoutConfig {
+        faults: FaultPlan::uniform(0.3),
+        ..FanoutConfig::default()
+    });
+    for rec in &w.ases {
+        let _ = s.classify(&rec.parsed);
+    }
+    let snap = s.metrics_snapshot();
+    let mut any_degraded = 0u64;
+    for slug in ["dnb", "crunchbase", "zvelo", "peeringdb", "ipinfo"] {
+        let c = |what: &str| snap.counter(&format!("source.{slug}.{what}"));
+        // Every issued query resolves to exactly one terminal outcome;
+        // breaker-shed calls never reach the wire and are counted apart.
+        assert_eq!(
+            c("queries"),
+            c("matches") + c("rejects") + c("no_match") + c("timeouts") + c("failures"),
+            "outcome accounting for {slug}"
+        );
+        any_degraded += c("timeouts") + c("failures") + c("breaker_open");
+    }
+    assert!(any_degraded > 0, "30% faults left no trace in the counters");
+    assert!(
+        snap.histograms["pipeline.fanout"].count > 0,
+        "fan-out latency histogram never sampled"
+    );
+}
+
+#[test]
+fn fault_injection_is_bit_reproducible_per_seed() {
+    let w = world();
+    let noisy = || {
+        AsdbSystem::build(&w, WorldSeed::new(8)).with_transport(FanoutConfig {
+            faults: FaultPlan::uniform(0.35),
+            transport: TransportConfig {
+                timeout: Duration::from_millis(120),
+                ..TransportConfig::default()
+            },
+            ..FanoutConfig::default()
+        })
+    };
+    let (a, b) = (noisy(), noisy());
+    let mut degraded_records = 0usize;
+    for rec in w.ases.iter().take(150) {
+        let ca = a.classify(&rec.parsed);
+        let cb = b.classify(&rec.parsed);
+        assert_eq!(ca.categories, cb.categories, "{}", ca.asn);
+        assert_eq!(ca.stage, cb.stage, "{}", ca.asn);
+        assert_eq!(ca.sources, cb.sources, "{}", ca.asn);
+        assert_eq!(ca.degraded, cb.degraded, "{}", ca.asn);
+        degraded_records += usize::from(!ca.degraded.is_empty());
+    }
+    assert!(
+        degraded_records > 0,
+        "35% faults never populated Classification::degraded"
+    );
+}
+
+#[test]
+fn burst_outage_trips_the_breaker_and_sheds_calls() {
+    let w = world();
+    let s = AsdbSystem::build(&w, WorldSeed::new(11)).with_transport(FanoutConfig {
+        faults: FaultPlan::none().with_outage(Outage {
+            source: Some(SourceId::Dnb),
+            start: 0,
+            len: u64::MAX,
+        }),
+        ..FanoutConfig::default()
+    });
+    let mut dnb_degraded = 0usize;
+    for rec in w.ases.iter().take(60) {
+        let c = s.classify(&rec.parsed);
+        if c.stage != asdb_core::Stage::MatchedByAsn {
+            assert!(
+                c.degraded.contains(&SourceId::Dnb),
+                "{}: permanent D&B outage must surface as degraded",
+                c.asn
+            );
+            dnb_degraded += 1;
+        }
+    }
+    assert!(dnb_degraded > 0, "no record ever reached stage 3");
+    assert_eq!(
+        s.fanout().breaker_state(SourceId::Dnb),
+        Some(BreakerState::Open)
+    );
+    let snap = s.metrics_snapshot();
+    assert!(
+        snap.counter("source.dnb.breaker_open") > 0,
+        "sustained failures never shed a call"
+    );
+    assert!(snap.counter("source.dnb.failures") > 0);
+    assert!(snap.counter("source.dnb.retries") > 0);
+    // The healthy sources are untouched by D&B's outage.
+    assert_eq!(snap.counter("source.ipinfo.failures"), 0);
+    assert_eq!(snap.counter("source.ipinfo.breaker_open"), 0);
+}
